@@ -1,0 +1,122 @@
+#include "fig6_common.hpp"
+
+#include <ostream>
+
+#include "hv/overhead_model.hpp"
+#include "stats/export.hpp"
+#include "stats/table.hpp"
+#include "workload/generators.hpp"
+
+namespace rthv::bench {
+
+using sim::Duration;
+
+namespace {
+
+Duration effective_bottom(const core::SystemConfig& cfg) {
+  const hw::CpuModel cpu(cfg.platform.cpu_freq_hz, cfg.platform.cpi_milli);
+  const hw::MemorySystem mem(cfg.platform.ctx_invalidate_instructions,
+                             cfg.platform.ctx_writeback_cycles);
+  const hv::OverheadModel oh(cpu, mem, cfg.overheads);
+  return oh.effective_bottom_cost(cfg.sources[0].c_bottom);
+}
+
+}  // namespace
+
+Fig6Result run_fig6(const Fig6Config& config) {
+  auto base = core::SystemConfig::paper_baseline();
+  const Duration c_bh_eff = effective_bottom(base);
+  // d_min fixed at the highest configured load's lambda.
+  int max_load = 1;
+  for (const int l : config.load_percent) max_load = std::max(max_load, l);
+  const auto d_min = Duration::ns(c_bh_eff.count_ns() * 100 / max_load);
+
+  if (config.monitored) {
+    base.mode = hv::TopHandlerMode::kInterposing;
+    base.sources[0].monitor = core::MonitorKind::kDeltaMin;
+    base.sources[0].d_min = d_min;
+  }
+
+  Fig6Result result{.recorder = {},
+                    .histogram = stats::Histogram(Duration::zero(), Duration::us(8500),
+                                                  Duration::us(100)),
+                    .per_load = {},
+                    .d_min = d_min,
+                    .c_bh_eff = c_bh_eff};
+
+  std::uint64_t seed = config.seed;
+  for (const int load : config.load_percent) {
+    core::HypervisorSystem system(base);
+    const auto lambda = Duration::ns(c_bh_eff.count_ns() * 100 / load);
+    workload::ExponentialTraceGenerator gen(
+        lambda, seed++, config.enforce_floor ? d_min : Duration::zero());
+    system.attach_trace(0, gen.generate(config.irqs_per_load));
+    system.keep_completions(true);
+    system.run(Duration::s(1000));
+
+    stats::LatencyRecorder load_recorder;
+    for (const auto& rec : system.completions()) {
+      result.recorder.record(rec.handling, rec.latency());
+      load_recorder.record(rec.handling, rec.latency());
+      result.histogram.add(rec.latency());
+    }
+    result.per_load.push_back(std::move(load_recorder));
+
+    const auto& ctx = system.hypervisor().context_switches();
+    result.tdma_switches += ctx.tdma;
+    result.interpose_switches += ctx.interpose_enter + ctx.interpose_return;
+    result.deferred_switches += system.hypervisor().irq_stats().deferred_slot_switches;
+    result.denied_by_monitor += system.hypervisor().irq_stats().denied_by_monitor;
+    result.lost_raises += system.platform().intc().lost_raises();
+  }
+  return result;
+}
+
+void print_fig6_report(std::ostream& os, const char* title, const Fig6Config& config,
+                       const Fig6Result& result) {
+  os << "=== " << title << " ===\n";
+  os << "T_TDMA = 14000us, T_i = 6000us, C_TH = 5us, C_BH = 40us, C'_BH = "
+     << result.c_bh_eff << ", d_min = " << result.d_min << "\n";
+  os << "loads:";
+  for (const int l : config.load_percent) os << " " << l << "%";
+  os << ", " << config.irqs_per_load << " IRQs per load\n\n";
+
+  stats::Table table({"U_IRQ", "direct", "interposed", "delayed", "avg [us]",
+                      "p99 [us]", "max [us]"});
+  for (std::size_t i = 0; i < result.per_load.size(); ++i) {
+    const auto& r = result.per_load[i];
+    table.add_row({std::to_string(config.load_percent[i]) + "%",
+                   stats::Table::num(r.fraction(stats::HandlingClass::kDirect) * 100) + "%",
+                   stats::Table::num(r.fraction(stats::HandlingClass::kInterposed) * 100) + "%",
+                   stats::Table::num(r.fraction(stats::HandlingClass::kDelayed) * 100) + "%",
+                   stats::Table::num(r.all().mean().as_us()),
+                   stats::Table::num(r.all().percentile(99).as_us()),
+                   stats::Table::num(r.all().max().as_us())});
+  }
+  const auto& all = result.recorder;
+  table.add_row({"cumulative",
+                 stats::Table::num(all.fraction(stats::HandlingClass::kDirect) * 100) + "%",
+                 stats::Table::num(all.fraction(stats::HandlingClass::kInterposed) * 100) + "%",
+                 stats::Table::num(all.fraction(stats::HandlingClass::kDelayed) * 100) + "%",
+                 stats::Table::num(all.all().mean().as_us()),
+                 stats::Table::num(all.all().percentile(99).as_us()),
+                 stats::Table::num(all.all().max().as_us())});
+  table.write(os);
+
+  os << "\ncontext switches: tdma " << result.tdma_switches << ", interpose "
+     << result.interpose_switches << ", deferred boundaries " << result.deferred_switches
+     << ", denied by monitor " << result.denied_by_monitor << ", lost raises "
+     << result.lost_raises << "\n";
+  os << "\nlatency histogram over " << result.recorder.total() << " IRQs (100us bins):\n";
+  result.histogram.write_ascii(os);
+  os << "\n";
+}
+
+void export_fig6(const std::string& dir, const std::string& name, const char* title,
+                 const Fig6Result& result) {
+  const std::string csv = dir + "/" + name + ".csv";
+  stats::write_histogram_csv(csv, result.histogram);
+  stats::write_histogram_gnuplot(dir + "/" + name + ".gp", csv, title);
+}
+
+}  // namespace rthv::bench

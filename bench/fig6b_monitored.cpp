@@ -1,0 +1,22 @@
+// Reproduces Fig. 6b: IRQ latency histogram with monitoring enabled;
+// arrivals are exponential and may violate d_min.
+//
+// Paper result (shape): direct ~40 %, interposed ~40 %, delayed ~20 %;
+// average ~1200 us; the worst case is still defined by the TDMA cycle
+// (identical to the unmonitored case) because violating IRQs are delayed.
+#include <iostream>
+
+#include "fig6_common.hpp"
+
+int main(int argc, char** argv) {
+  rthv::bench::Fig6Config config;
+  config.monitored = true;
+  config.enforce_floor = false;
+  const auto result = rthv::bench::run_fig6(config);
+  rthv::bench::print_fig6_report(std::cout, "Fig. 6b -- monitoring enabled", config,
+                                 result);
+  if (argc > 1) rthv::bench::export_fig6(argv[1], "fig6b", "Fig. 6b -- monitoring enabled", result);
+  std::cout << "paper reference: direct ~40%, interposed ~40%, delayed ~20%, average "
+               "~1200us, worst case still TDMA-bound\n";
+  return 0;
+}

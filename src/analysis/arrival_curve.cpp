@@ -1,0 +1,36 @@
+#include "analysis/arrival_curve.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rthv::analysis {
+
+ArrivalCurve::ArrivalCurve(std::shared_ptr<const MinDistanceFunction> delta)
+    : delta_(std::move(delta)) {
+  assert(delta_ != nullptr);
+}
+
+std::uint64_t ArrivalCurve::operator()(sim::Duration dt) const {
+  if (!dt.is_positive()) return 0;
+  const auto& d = *delta_;
+  // Exponential search for an upper bound, then binary search for the
+  // largest q with delta^-(q) < dt. delta^- must grow unboundedly (positive
+  // d_min), which all our models guarantee.
+  std::uint64_t hi = 2;
+  while (d(hi) < dt) {
+    hi *= 2;
+    assert(hi < (1ULL << 40) && "arrival curve did not converge -- d_min zero?");
+  }
+  std::uint64_t lo = 1;  // delta^-(1) = 0 < dt always holds
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (d(mid) < dt) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace rthv::analysis

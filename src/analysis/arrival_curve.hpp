@@ -1,0 +1,33 @@
+// Upper arrival curves eta^+(dt).
+//
+// eta^+(dt) returns the maximum number of events that can arrive within any
+// half-open time window of length dt. It is the pseudo-inverse of the
+// minimum-distance function:
+//   eta^+(dt) = max{ q >= 0 : delta^-(q) < dt }   for dt > 0,
+//   eta^+(dt) = 0                                  for dt <= 0.
+// For a sporadic stream with distance d this evaluates to ceil(dt / d),
+// matching the standard event model literature.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "analysis/min_distance.hpp"
+#include "sim/time.hpp"
+
+namespace rthv::analysis {
+
+class ArrivalCurve {
+ public:
+  explicit ArrivalCurve(std::shared_ptr<const MinDistanceFunction> delta);
+
+  /// Maximum events in any window of length dt.
+  [[nodiscard]] std::uint64_t operator()(sim::Duration dt) const;
+
+  [[nodiscard]] const MinDistanceFunction& delta() const { return *delta_; }
+
+ private:
+  std::shared_ptr<const MinDistanceFunction> delta_;
+};
+
+}  // namespace rthv::analysis

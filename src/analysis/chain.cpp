@@ -1,0 +1,41 @@
+#include "analysis/chain.hpp"
+
+#include <cassert>
+
+namespace rthv::analysis {
+
+std::optional<ChainResult> gateway_chain_latency(const GatewayChain& chain) {
+  assert(chain.irq.activation != nullptr);
+  assert(chain.consumer_index < chain.consumer.tasks.size());
+
+  // --- stage 1: IRQ handling -------------------------------------------------
+  const auto r1 = chain.interposed
+                      ? interposed_latency(chain.irq, {}, chain.overheads)
+                      : tdma_latency(chain.irq, {}, chain.tdma, chain.overheads,
+                                     /*monitoring_active=*/chain.interposed);
+  if (!r1) return std::nullopt;
+
+  // Best case: the IRQ lands in its subscriber's idle slot and is handled
+  // directly -- top handler plus bottom handler, no monitor, no switches.
+  const sim::Duration best_case = chain.irq.c_top + chain.irq.c_bottom;
+  assert(r1->worst_case >= best_case);
+  const sim::Duration jitter = r1->worst_case - best_case;
+
+  // --- stage 2: consumer task under the propagated activation model ----------
+  // Consecutive bottom-handler completions are at least C_BH apart (FIFO
+  // service); that is the output model's spacing floor.
+  PartitionTaskAnalysis consumer = chain.consumer;
+  consumer.tasks[chain.consumer_index].activation =
+      make_output(chain.irq.activation, jitter, chain.irq.c_bottom);
+  const auto r2 = task_wcrt(consumer, chain.consumer_index);
+  if (!r2) return std::nullopt;
+
+  ChainResult out;
+  out.irq_stage = r1->worst_case;
+  out.irq_jitter = jitter;
+  out.consumer_stage = *r2;
+  out.end_to_end = r1->worst_case + *r2;
+  return out;
+}
+
+}  // namespace rthv::analysis

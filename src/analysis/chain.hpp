@@ -1,0 +1,49 @@
+// End-to-end latency of the canonical gateway chain:
+//
+//   IRQ arrival --(top+bottom handler, interposed or delayed)-->
+//   activation of a consumer task in another partition --(TDMA service)-->
+//   consumer completion.
+//
+// Composes the paper's IRQ latency analyses with the CPA output-event-model
+// propagation and the guest-task analysis: the bottom handler's response
+// jitter widens the consumer's activation model (OutputModel), and the
+// consumer's WCRT is computed against its own partition's slot table. The
+// result answers the system-level question behind Figs. 3/5: how much does
+// interposed handling improve *end-to-end* reaction time, not just IRQ
+// latency?
+#pragma once
+
+#include <optional>
+
+#include "analysis/irq_latency.hpp"
+#include "analysis/task_wcrt.hpp"
+
+namespace rthv::analysis {
+
+struct GatewayChain {
+  /// Stage 1: the IRQ source (activation model, C_TH, C_BH) and platform
+  /// overheads.
+  IrqSourceModel irq;
+  OverheadTimes overheads;
+  /// Interposed (conforming, Eq. 16) or delayed (Eq. 11) handling.
+  bool interposed = true;
+  /// TDMA geometry of the *subscriber* partition (used on the delayed path).
+  TdmaModel tdma;
+  /// Stage 2: the consumer partition's task model. The consumer task at
+  /// `consumer_index` is activated once per bottom-handler completion; its
+  /// `activation` field is overwritten by the propagated output model.
+  PartitionTaskAnalysis consumer;
+  std::size_t consumer_index = 0;
+};
+
+struct ChainResult {
+  sim::Duration irq_stage;       // worst-case bottom-handler completion (R1)
+  sim::Duration irq_jitter;      // R1 - best case (propagated to stage 2)
+  sim::Duration consumer_stage;  // consumer task WCRT under the output model
+  sim::Duration end_to_end;      // R1 + R2
+};
+
+/// Computes the chain bound; std::nullopt if either stage diverges.
+[[nodiscard]] std::optional<ChainResult> gateway_chain_latency(const GatewayChain& chain);
+
+}  // namespace rthv::analysis

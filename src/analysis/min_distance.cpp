@@ -1,0 +1,151 @@
+#include "analysis/min_distance.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rthv::analysis {
+
+SporadicModel::SporadicModel(sim::Duration d_min) : d_(d_min) {
+  assert(d_.is_positive() && "sporadic model needs a positive minimum distance");
+}
+
+sim::Duration SporadicModel::at(std::uint64_t q) const {
+  return d_ * static_cast<std::int64_t>(q - 1);
+}
+
+PeriodicJitterModel::PeriodicJitterModel(sim::Duration period, sim::Duration jitter,
+                                         sim::Duration d_min)
+    : period_(period), jitter_(jitter), d_(d_min) {
+  assert(period_.is_positive());
+  assert(!jitter_.is_negative());
+  assert(!d_.is_negative());
+}
+
+sim::Duration PeriodicJitterModel::at(std::uint64_t q) const {
+  const auto n = static_cast<std::int64_t>(q - 1);
+  const sim::Duration strict = period_ * n - jitter_;
+  const sim::Duration floor = d_ * n;
+  return std::max({strict, floor, sim::Duration::zero()});
+}
+
+VectorModel::VectorModel(std::vector<sim::Duration> deltas) : deltas_(std::move(deltas)) {
+  assert(!deltas_.empty());
+  assert(deltas_.front().is_positive() && "d_min must be positive for extension");
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < deltas_.size(); ++i) assert(deltas_[i] >= deltas_[i - 1]);
+#endif
+}
+
+sim::Duration VectorModel::at(std::uint64_t q) const {
+  const std::uint64_t idx = q - 2;
+  if (idx < deltas_.size()) return deltas_[idx];
+  // Superadditive extension: split q events into full blocks of (l + 1)
+  // events (span deltas_.back()) plus a remainder block.
+  const std::uint64_t l = deltas_.size();
+  const std::uint64_t gaps = q - 1;                       // spans are over gaps
+  const std::uint64_t full_blocks = gaps / l;             // each block covers l gaps
+  const std::uint64_t rest_gaps = gaps % l;
+  sim::Duration total = deltas_.back() * static_cast<std::int64_t>(full_blocks);
+  if (rest_gaps > 0) total += deltas_[rest_gaps - 1];
+  return total;
+}
+
+TraceModel::TraceModel(const std::vector<sim::TimePoint>& activations) {
+  assert(activations.size() >= 2 && "trace must contain at least two events");
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < activations.size(); ++i) {
+    assert(activations[i] >= activations[i - 1] && "trace must be sorted");
+  }
+#endif
+  const std::size_t n = activations.size();
+  spans_.resize(n - 1, sim::Duration::max());
+  // spans_[k-2] (k events) = min over windows of k consecutive events.
+  for (std::size_t k = 2; k <= n; ++k) {
+    sim::Duration best = sim::Duration::max();
+    for (std::size_t i = 0; i + k <= n; ++i) {
+      best = std::min(best, activations[i + k - 1] - activations[i]);
+    }
+    spans_[k - 2] = best;
+  }
+}
+
+sim::Duration TraceModel::at(std::uint64_t q) const {
+  const std::uint64_t idx = q - 2;
+  if (idx < spans_.size()) return spans_[idx];
+  // Extend with the average slope of the last recorded span (conservative
+  // linear continuation: the whole-trace span repeated).
+  const sim::Duration whole = spans_.back();
+  const auto whole_gaps = static_cast<std::int64_t>(spans_.size());
+  const std::uint64_t gaps = q - 1;
+  const std::int64_t full = static_cast<std::int64_t>(gaps) / whole_gaps;
+  const std::int64_t rest = static_cast<std::int64_t>(gaps) % whole_gaps;
+  sim::Duration total = whole * full;
+  if (rest > 0) total += spans_[static_cast<std::size_t>(rest - 1)];
+  return total;
+}
+
+BurstModel::BurstModel(sim::Duration outer_period, std::uint32_t burst_size,
+                       sim::Duration inner_distance)
+    : period_(outer_period), size_(burst_size), inner_(inner_distance) {
+  assert(period_.is_positive());
+  assert(size_ >= 1);
+  assert(inner_.is_positive() || size_ == 1);
+  // The burst must fit into its period, or events would reorder.
+  assert(inner_ * static_cast<std::int64_t>(size_ - 1) < period_);
+}
+
+sim::Duration BurstModel::at(std::uint64_t q) const {
+  const std::uint64_t gaps = q - 1;
+  const auto full = static_cast<std::int64_t>(gaps / size_);
+  const auto rest = static_cast<std::int64_t>(gaps % size_);
+  return period_ * full + inner_ * rest;
+}
+
+std::shared_ptr<MinDistanceFunction> make_sporadic(sim::Duration d_min) {
+  return std::make_shared<SporadicModel>(d_min);
+}
+
+std::shared_ptr<MinDistanceFunction> make_periodic(sim::Duration period,
+                                                   sim::Duration jitter,
+                                                   sim::Duration d_min) {
+  return std::make_shared<PeriodicJitterModel>(period, jitter, d_min);
+}
+
+std::shared_ptr<MinDistanceFunction> make_bursty(sim::Duration outer_period,
+                                                 std::uint32_t burst_size,
+                                                 sim::Duration inner_distance) {
+  return std::make_shared<BurstModel>(outer_period, burst_size, inner_distance);
+}
+
+OutputModel::OutputModel(std::shared_ptr<const MinDistanceFunction> input,
+                         sim::Duration response_jitter, sim::Duration d_floor)
+    : input_(std::move(input)), jitter_(response_jitter), floor_(d_floor) {
+  assert(input_ != nullptr);
+  assert(!jitter_.is_negative());
+  assert(floor_.is_positive() && "output model needs a positive service spacing");
+}
+
+sim::Duration OutputModel::at(std::uint64_t q) const {
+  const sim::Duration shrunk = (*input_)(q) - jitter_;
+  const sim::Duration floored = floor_ * static_cast<std::int64_t>(q - 1);
+  return std::max(shrunk, floored);
+}
+
+std::shared_ptr<MinDistanceFunction> make_output(
+    std::shared_ptr<const MinDistanceFunction> input, sim::Duration response_jitter,
+    sim::Duration d_floor) {
+  return std::make_shared<OutputModel>(std::move(input), response_jitter, d_floor);
+}
+
+double long_run_rate_hz(const MinDistanceFunction& delta) {
+  constexpr std::uint64_t kLargeQ = 1'000'000;
+  const sim::Duration span = delta(kLargeQ);
+  assert(span.is_positive() && "event model must have unbounded delta^-");
+  return static_cast<double>(kLargeQ - 1) / span.as_s();
+}
+
+double utilization(const MinDistanceFunction& delta, sim::Duration cost) {
+  return long_run_rate_hz(delta) * cost.as_s();
+}
+
+}  // namespace rthv::analysis

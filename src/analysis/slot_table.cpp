@@ -1,0 +1,98 @@
+#include "analysis/slot_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rthv::analysis {
+
+using sim::Duration;
+
+SlotTableModel::SlotTableModel(std::vector<Slot> slots, Duration entry_overhead)
+    : slots_(std::move(slots)), entry_overhead_(entry_overhead) {
+  assert(!slots_.empty());
+  assert(!entry_overhead_.is_negative());
+  [[maybe_unused]] bool has_service = false;
+  [[maybe_unused]] bool has_foreign = false;
+  cycle_ = Duration::zero();
+  service_ = Duration::zero();
+  for (const auto& s : slots_) {
+    assert(s.length.is_positive());
+    cycle_ += s.length;
+    if (s.service) {
+      assert(s.length > entry_overhead_ &&
+             "a service slot shorter than its entry overhead provides no service");
+      service_ += s.length;
+      ++entries_;
+      has_service = true;
+    } else {
+      has_foreign = true;
+    }
+  }
+  assert(has_service && has_foreign && "need at least one service and one foreign slot");
+}
+
+Duration SlotTableModel::blocked_from(std::size_t start_slot, Duration dt) const {
+  Duration blocked = Duration::zero();
+  Duration left = dt;
+  std::size_t idx = start_slot;
+  while (left.is_positive()) {
+    const Slot& s = slots_[idx];
+    if (!s.service) {
+      const Duration take = std::min(left, s.length);
+      blocked += take;
+      left -= take;
+    } else {
+      // Entering service first pays the switch-in overhead (blocked time),
+      // then the remainder of the slot provides service.
+      const Duration oh = std::min(left, entry_overhead_);
+      blocked += oh;
+      left -= oh;
+      if (left.is_positive()) {
+        left -= std::min(left, s.length - entry_overhead_);
+      }
+    }
+    idx = (idx + 1) % slots_.size();
+  }
+  return blocked;
+}
+
+Duration SlotTableModel::interference(Duration dt) const {
+  if (!dt.is_positive()) return Duration::zero();
+  const std::int64_t full_cycles = dt / cycle_;
+  const Duration rem = dt % cycle_;
+  const Duration blocked_per_cycle =
+      cycle_ - service_ + entry_overhead_ * static_cast<std::int64_t>(entries_);
+
+  Duration worst_rem = Duration::zero();
+  if (rem.is_positive()) {
+    // The worst window starts at the beginning of a foreign run.
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].service) continue;
+      worst_rem = std::max(worst_rem, blocked_from(i, rem));
+    }
+  }
+  return blocked_per_cycle * full_cycles + worst_rem;
+}
+
+SlotTableModel SlotTableModel::single_slot(Duration cycle, Duration slot,
+                                           Duration entry_overhead) {
+  assert(slot < cycle);
+  return SlotTableModel({Slot{true, slot}, Slot{false, cycle - slot}}, entry_overhead);
+}
+
+SlotTableModel SlotTableModel::evenly_split(Duration cycle, Duration slot,
+                                            std::uint32_t parts,
+                                            Duration entry_overhead) {
+  assert(parts >= 1);
+  assert(slot < cycle);
+  const Duration service_part = Duration::ns(slot.count_ns() / parts);
+  const Duration foreign_part = Duration::ns((cycle - slot).count_ns() / parts);
+  std::vector<Slot> slots;
+  for (std::uint32_t i = 0; i < parts; ++i) {
+    slots.push_back(Slot{true, service_part});
+    slots.push_back(Slot{false, foreign_part});
+  }
+  return SlotTableModel(std::move(slots), entry_overhead);
+}
+
+}  // namespace rthv::analysis

@@ -1,0 +1,64 @@
+// Exact TDMA interference for arbitrary slot tables.
+//
+// Eq. 8 of the paper assumes the subscriber owns one slot of length T_i per
+// cycle: I(dt) = ceil(dt/T_TDMA) * (T_TDMA - T_i). The classic alternative
+// to interposed handling is *slot splitting* -- giving the subscriber
+// several shorter slots spread over the cycle -- which Eq. 8 cannot
+// express. This model computes the worst-case non-service time in any
+// window of length dt for an arbitrary cyclic slot table, including a
+// per-entry overhead charged every time the subscriber's service resumes
+// (scheduler tick + context switch).
+//
+// The worst-case window starts where service just ended (start of a foreign
+// run); the computation scans these finitely many candidate offsets and is
+// exact for piecewise-constant service patterns.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rthv::analysis {
+
+class SlotTableModel {
+ public:
+  struct Slot {
+    bool service;         // true: the subscriber may execute here
+    sim::Duration length;
+  };
+
+  /// @param slots cyclic slot sequence; at least one service and one
+  ///              foreign slot
+  /// @param entry_overhead charged at every transition into service
+  SlotTableModel(std::vector<Slot> slots,
+                 sim::Duration entry_overhead = sim::Duration::zero());
+
+  [[nodiscard]] sim::Duration cycle() const { return cycle_; }
+  [[nodiscard]] sim::Duration service_per_cycle() const { return service_; }
+  [[nodiscard]] std::uint32_t service_entries_per_cycle() const { return entries_; }
+
+  /// Worst-case time NOT available to the subscriber in any window of
+  /// length dt (the multi-slot generalization of Eq. 8).
+  [[nodiscard]] sim::Duration interference(sim::Duration dt) const;
+
+  /// Convenience: the single-slot layout of the paper.
+  [[nodiscard]] static SlotTableModel single_slot(sim::Duration cycle, sim::Duration slot,
+                                                  sim::Duration entry_overhead);
+
+  /// The subscriber's slot budget split into `parts` equal slots spread
+  /// evenly over the cycle (foreign gaps of equal size in between).
+  [[nodiscard]] static SlotTableModel evenly_split(sim::Duration cycle, sim::Duration slot,
+                                                   std::uint32_t parts,
+                                                   sim::Duration entry_overhead);
+
+ private:
+  [[nodiscard]] sim::Duration blocked_from(std::size_t start_slot, sim::Duration dt) const;
+
+  std::vector<Slot> slots_;
+  sim::Duration entry_overhead_;
+  sim::Duration cycle_;
+  sim::Duration service_;
+  std::uint32_t entries_ = 0;
+};
+
+}  // namespace rthv::analysis

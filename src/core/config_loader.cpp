@@ -1,0 +1,322 @@
+#include "core/config_loader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace rthv::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::int64_t parse_int(std::size_t line, const std::string& value) {
+  try {
+    std::size_t consumed = 0;
+    const std::int64_t v = std::stoll(value, &consumed);
+    if (consumed != value.size()) throw std::invalid_argument("trailing garbage");
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError(line, "expected an integer, got '" + value + "'");
+  }
+}
+
+bool parse_bool(std::size_t line, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  throw ConfigError(line, "expected a boolean, got '" + value + "'");
+}
+
+MonitorKind parse_monitor(std::size_t line, const std::string& value) {
+  if (value == "none") return MonitorKind::kNone;
+  if (value == "delta_min") return MonitorKind::kDeltaMin;
+  if (value == "delta_vector") return MonitorKind::kDeltaVector;
+  if (value == "learning") return MonitorKind::kLearning;
+  if (value == "token_bucket") return MonitorKind::kTokenBucket;
+  if (value == "window_count") return MonitorKind::kWindowCount;
+  throw ConfigError(line, "unknown monitor kind '" + value + "'");
+}
+
+mon::DeltaVector parse_delta_vector(std::size_t line, const std::string& value) {
+  // Space-separated microsecond values.
+  mon::DeltaVector out;
+  std::istringstream ss(value);
+  std::string token;
+  while (ss >> token) {
+    out.push_back(sim::Duration::us(parse_int(line, token)));
+  }
+  if (out.empty()) throw ConfigError(line, "empty delta vector");
+  return out;
+}
+
+}  // namespace
+
+SystemConfig load_config(std::istream& is) {
+  SystemConfig cfg;
+  cfg.partitions.clear();
+  cfg.sources.clear();
+
+  enum class Section { kNone, kPlatform, kOverheads, kMode, kPartition, kSource, kSlot };
+  Section section = Section::kNone;
+  std::size_t line_no = 0;
+  std::string line;
+
+  auto current_partition = [&]() -> PartitionSpec& {
+    if (cfg.partitions.empty()) throw ConfigError(line_no, "no [partition] open");
+    return cfg.partitions.back();
+  };
+  auto current_source = [&]() -> IrqSourceSpec& {
+    if (cfg.sources.empty()) throw ConfigError(line_no, "no [source] open");
+    return cfg.sources.back();
+  };
+  auto current_slot = [&]() -> ScheduleSlot& {
+    if (cfg.schedule.empty()) throw ConfigError(line_no, "no [slot] open");
+    return cfg.schedule.back();
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') throw ConfigError(line_no, "unterminated section header");
+      const std::string name = trim(line.substr(1, line.size() - 2));
+      if (name == "platform") {
+        section = Section::kPlatform;
+      } else if (name == "overheads") {
+        section = Section::kOverheads;
+      } else if (name == "mode") {
+        section = Section::kMode;
+      } else if (name == "partition") {
+        section = Section::kPartition;
+        cfg.partitions.push_back(PartitionSpec{"", sim::Duration::zero(), true});
+      } else if (name == "source") {
+        section = Section::kSource;
+        cfg.sources.push_back(IrqSourceSpec{});
+      } else if (name == "slot") {
+        section = Section::kSlot;
+        cfg.schedule.push_back(ScheduleSlot{0, sim::Duration::zero()});
+      } else {
+        throw ConfigError(line_no, "unknown section [" + name + "]");
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) throw ConfigError(line_no, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) throw ConfigError(line_no, "empty key or value");
+
+    switch (section) {
+      case Section::kNone:
+        throw ConfigError(line_no, "key outside any section");
+      case Section::kPlatform:
+        if (key == "cpu_freq_hz") {
+          cfg.platform.cpu_freq_hz = static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "cpi_milli") {
+          cfg.platform.cpi_milli = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "ctx_invalidate_instructions") {
+          cfg.platform.ctx_invalidate_instructions =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "ctx_writeback_cycles") {
+          cfg.platform.ctx_writeback_cycles =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "num_irq_lines") {
+          cfg.platform.num_irq_lines = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else {
+          throw ConfigError(line_no, "unknown platform key '" + key + "'");
+        }
+        break;
+      case Section::kOverheads:
+        if (key == "monitor_instructions") {
+          cfg.overheads.monitor_instructions =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "sched_manipulation_instructions") {
+          cfg.overheads.sched_manipulation_instructions =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "tdma_tick_instructions") {
+          cfg.overheads.tdma_tick_instructions =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else {
+          throw ConfigError(line_no, "unknown overheads key '" + key + "'");
+        }
+        break;
+      case Section::kMode:
+        if (key == "interposing") {
+          cfg.mode = parse_bool(line_no, value) ? hv::TopHandlerMode::kInterposing
+                                                : hv::TopHandlerMode::kOriginal;
+        } else if (key == "background_quantum_us") {
+          cfg.background_quantum = sim::Duration::us(parse_int(line_no, value));
+        } else if (key == "irq_queue_capacity") {
+          cfg.irq_queue_capacity = static_cast<std::size_t>(parse_int(line_no, value));
+        } else {
+          throw ConfigError(line_no, "unknown mode key '" + key + "'");
+        }
+        break;
+      case Section::kPartition:
+        if (key == "name") {
+          current_partition().name = value;
+        } else if (key == "slot_us") {
+          current_partition().slot_length = sim::Duration::us(parse_int(line_no, value));
+        } else if (key == "background_load") {
+          current_partition().background_load = parse_bool(line_no, value);
+        } else {
+          throw ConfigError(line_no, "unknown partition key '" + key + "'");
+        }
+        break;
+      case Section::kSource:
+        if (key == "name") {
+          current_source().name = value;
+        } else if (key == "subscriber") {
+          current_source().subscriber = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "c_top_us") {
+          current_source().c_top = sim::Duration::us(parse_int(line_no, value));
+        } else if (key == "c_bottom_us") {
+          current_source().c_bottom = sim::Duration::us(parse_int(line_no, value));
+        } else if (key == "monitor") {
+          current_source().monitor = parse_monitor(line_no, value);
+        } else if (key == "d_min_us") {
+          current_source().d_min = sim::Duration::us(parse_int(line_no, value));
+        } else if (key == "delta_vector_us") {
+          current_source().delta_vector = parse_delta_vector(line_no, value);
+        } else if (key == "learning_depth") {
+          current_source().learning_depth =
+              static_cast<std::size_t>(parse_int(line_no, value));
+        } else if (key == "learning_events") {
+          current_source().learning_events =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "bucket_depth") {
+          current_source().bucket_depth =
+              static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "window_events") {
+          current_source().window_events =
+              static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else {
+          throw ConfigError(line_no, "unknown source key '" + key + "'");
+        }
+        break;
+      case Section::kSlot:
+        if (key == "partition") {
+          current_slot().partition = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "length_us") {
+          current_slot().length = sim::Duration::us(parse_int(line_no, value));
+        } else {
+          throw ConfigError(line_no, "unknown slot key '" + key + "'");
+        }
+        break;
+    }
+  }
+
+  // Semantic validation (beyond what HypervisorSystem checks itself).
+  if (cfg.partitions.empty()) {
+    throw std::invalid_argument("config defines no partitions");
+  }
+  for (std::size_t i = 0; i < cfg.partitions.size(); ++i) {
+    if (cfg.partitions[i].name.empty()) {
+      throw std::invalid_argument("partition " + std::to_string(i) + " has no name");
+    }
+    if (cfg.schedule.empty() && !cfg.partitions[i].slot_length.is_positive()) {
+      throw std::invalid_argument("partition '" + cfg.partitions[i].name +
+                                  "' has no slot_us and no [slot] entries exist");
+    }
+  }
+  for (const auto& s : cfg.schedule) {
+    if (!s.length.is_positive()) {
+      throw std::invalid_argument("[slot] entry without a positive length_us");
+    }
+  }
+  return cfg;
+}
+
+SystemConfig load_config_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open config file: " + path);
+  return load_config(is);
+}
+
+void save_config(std::ostream& os, const SystemConfig& cfg) {
+  os << "[platform]\n"
+     << "cpu_freq_hz = " << cfg.platform.cpu_freq_hz << "\n"
+     << "cpi_milli = " << cfg.platform.cpi_milli << "\n"
+     << "ctx_invalidate_instructions = " << cfg.platform.ctx_invalidate_instructions << "\n"
+     << "ctx_writeback_cycles = " << cfg.platform.ctx_writeback_cycles << "\n"
+     << "num_irq_lines = " << cfg.platform.num_irq_lines << "\n\n";
+  os << "[overheads]\n"
+     << "monitor_instructions = " << cfg.overheads.monitor_instructions << "\n"
+     << "sched_manipulation_instructions = "
+     << cfg.overheads.sched_manipulation_instructions << "\n"
+     << "tdma_tick_instructions = " << cfg.overheads.tdma_tick_instructions << "\n\n";
+  os << "[mode]\n"
+     << "interposing = "
+     << (cfg.mode == hv::TopHandlerMode::kInterposing ? "true" : "false") << "\n"
+     << "background_quantum_us = " << cfg.background_quantum.count_ns() / 1000 << "\n"
+     << "irq_queue_capacity = " << cfg.irq_queue_capacity << "\n";
+  for (const auto& p : cfg.partitions) {
+    os << "\n[partition]\n"
+       << "name = " << p.name << "\n"
+       << "slot_us = " << p.slot_length.count_ns() / 1000 << "\n"
+       << "background_load = " << (p.background_load ? "true" : "false") << "\n";
+  }
+  for (const auto& s : cfg.sources) {
+    os << "\n[source]\n"
+       << "name = " << s.name << "\n"
+       << "subscriber = " << s.subscriber << "\n"
+       << "c_top_us = " << s.c_top.count_ns() / 1000 << "\n"
+       << "c_bottom_us = " << s.c_bottom.count_ns() / 1000 << "\n";
+    switch (s.monitor) {
+      case MonitorKind::kNone:
+        os << "monitor = none\n";
+        break;
+      case MonitorKind::kDeltaMin:
+        os << "monitor = delta_min\n"
+           << "d_min_us = " << s.d_min.count_ns() / 1000 << "\n";
+        break;
+      case MonitorKind::kDeltaVector: {
+        os << "monitor = delta_vector\n"
+           << "delta_vector_us =";
+        for (const auto d : s.delta_vector) os << " " << d.count_ns() / 1000;
+        os << "\n";
+        break;
+      }
+      case MonitorKind::kLearning: {
+        os << "monitor = learning\n"
+           << "learning_depth = " << s.learning_depth << "\n"
+           << "learning_events = " << s.learning_events << "\n";
+        if (!s.delta_vector.empty()) {
+          os << "delta_vector_us =";
+          for (const auto d : s.delta_vector) os << " " << d.count_ns() / 1000;
+          os << "\n";
+        }
+        break;
+      }
+      case MonitorKind::kTokenBucket:
+        os << "monitor = token_bucket\n"
+           << "d_min_us = " << s.d_min.count_ns() / 1000 << "\n"
+           << "bucket_depth = " << s.bucket_depth << "\n";
+        break;
+      case MonitorKind::kWindowCount:
+        os << "monitor = window_count\n"
+           << "d_min_us = " << s.d_min.count_ns() / 1000 << "\n"
+           << "window_events = " << s.window_events << "\n";
+        break;
+    }
+  }
+  for (const auto& s : cfg.schedule) {
+    os << "\n[slot]\n"
+       << "partition = " << s.partition << "\n"
+       << "length_us = " << s.length.count_ns() / 1000 << "\n";
+  }
+}
+
+}  // namespace rthv::core

@@ -1,0 +1,69 @@
+// Fully assembled hypervisor system: simulator, platform, hypervisor,
+// guest kernels, IRQ trace drivers and latency recording -- the library's
+// main entry point for experiments and applications.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/system_config.hpp"
+#include "core/trace_driver.hpp"
+#include "guest/guest_kernel.hpp"
+#include "hv/hypervisor.hpp"
+#include "hw/platform.hpp"
+#include "sim/simulator.hpp"
+#include "stats/latency_recorder.hpp"
+#include "workload/trace.hpp"
+
+namespace rthv::core {
+
+class HypervisorSystem {
+ public:
+  explicit HypervisorSystem(const SystemConfig& config);
+
+  HypervisorSystem(const HypervisorSystem&) = delete;
+  HypervisorSystem& operator=(const HypervisorSystem&) = delete;
+
+  /// Attaches an activation trace to a configured IRQ source. Must be
+  /// called before run().
+  void attach_trace(std::uint32_t source_index, workload::Trace trace);
+
+  /// Keep every CompletedIrq record (needed for per-event series such as
+  /// Fig. 7); off by default to save memory on long runs.
+  void keep_completions(bool on) { keep_completions_ = on; }
+
+  /// Starts the hypervisor and runs the simulation until either all
+  /// attached trace activations have completed their bottom handlers or
+  /// `horizon` passes. Returns the number of completed bottom handlers.
+  std::uint64_t run(sim::Duration horizon);
+
+  // --- access ---------------------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] hw::Platform& platform() { return *platform_; }
+  [[nodiscard]] hv::Hypervisor& hypervisor() { return *hv_; }
+  [[nodiscard]] guest::GuestKernel& guest(std::uint32_t partition_index) {
+    return *guests_.at(partition_index);
+  }
+  [[nodiscard]] const stats::LatencyRecorder& recorder() const { return recorder_; }
+  [[nodiscard]] const std::vector<hv::CompletedIrq>& completions() const {
+    return completions_;
+  }
+  [[nodiscard]] std::uint64_t completed_bottom_handlers() const { return completed_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+ private:
+  SystemConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<hw::Platform> platform_;
+  std::unique_ptr<hv::Hypervisor> hv_;
+  std::vector<std::unique_ptr<guest::GuestKernel>> guests_;  // index = partition
+  std::vector<std::unique_ptr<TraceIrqDriver>> drivers_;
+  std::uint64_t expected_ = 0;  // total trace activations attached
+  std::uint64_t completed_ = 0;
+  bool keep_completions_ = false;
+  bool started_ = false;
+  stats::LatencyRecorder recorder_;
+  std::vector<hv::CompletedIrq> completions_;
+};
+
+}  // namespace rthv::core

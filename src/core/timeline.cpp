@@ -1,0 +1,80 @@
+#include "core/timeline.hpp"
+
+#include <cassert>
+#include <ostream>
+
+namespace rthv::core {
+
+using Reason = hv::Hypervisor::ContextChange::Reason;
+
+namespace {
+
+const char* to_string(Reason r) {
+  switch (r) {
+    case Reason::kStart: return "start";
+    case Reason::kTdmaSwitch: return "tdma";
+    case Reason::kInterposeEnter: return "interpose-enter";
+    case Reason::kInterposeReturn: return "interpose-return";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void TimelineRecorder::attach(hv::Hypervisor& hypervisor) {
+  hypervisor.set_context_hook(
+      [this](const hv::Hypervisor::ContextChange& c) { on_change(c); });
+}
+
+void TimelineRecorder::on_change(const hv::Hypervisor::ContextChange& change) {
+  if (open_) {
+    intervals_.back().end = change.time;
+  }
+  intervals_.push_back(Interval{change.time, sim::TimePoint::max(), change.partition,
+                                change.reason});
+  open_ = true;
+}
+
+void TimelineRecorder::finish(sim::TimePoint now) {
+  if (open_) {
+    assert(now >= intervals_.back().begin);
+    intervals_.back().end = now;
+    open_ = false;
+  }
+}
+
+sim::Duration TimelineRecorder::occupancy(hv::PartitionId partition) const {
+  sim::Duration total = sim::Duration::zero();
+  for (const auto& iv : intervals_) {
+    if (iv.partition == partition && iv.end != sim::TimePoint::max()) {
+      total += iv.end - iv.begin;
+    }
+  }
+  return total;
+}
+
+sim::Duration TimelineRecorder::interposed_occupancy(hv::PartitionId partition) const {
+  sim::Duration total = sim::Duration::zero();
+  for (const auto& iv : intervals_) {
+    if (iv.partition == partition && iv.entered_by == Reason::kInterposeEnter &&
+        iv.end != sim::TimePoint::max()) {
+      total += iv.end - iv.begin;
+    }
+  }
+  return total;
+}
+
+void TimelineRecorder::write_csv(std::ostream& os) const {
+  os << "begin_us,end_us,partition,reason\n";
+  for (const auto& iv : intervals_) {
+    os << iv.begin.as_us() << ",";
+    if (iv.end == sim::TimePoint::max()) {
+      os << "open";
+    } else {
+      os << iv.end.as_us();
+    }
+    os << "," << iv.partition << "," << to_string(iv.entered_by) << "\n";
+  }
+}
+
+}  // namespace rthv::core

@@ -1,0 +1,51 @@
+// Partition occupancy timeline.
+//
+// Subscribes to the hypervisor's context-change hook and records which
+// partition context was active when -- a Gantt view of the TDMA schedule
+// including interpositions. Used to validate slot accounting at system
+// level and to export schedule visualizations.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "hv/hypervisor.hpp"
+#include "sim/time.hpp"
+
+namespace rthv::core {
+
+class TimelineRecorder {
+ public:
+  struct Interval {
+    sim::TimePoint begin;
+    sim::TimePoint end;  // TimePoint::max() while open
+    hv::PartitionId partition;
+    hv::Hypervisor::ContextChange::Reason entered_by;
+  };
+
+  /// Installs the recorder as the hypervisor's context hook. Call before
+  /// Hypervisor::start(); the recorder must outlive the hypervisor run.
+  void attach(hv::Hypervisor& hypervisor);
+
+  /// Closes the open interval at `now` (call when the observation ends).
+  void finish(sim::TimePoint now);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Total context time of a partition across all closed intervals.
+  [[nodiscard]] sim::Duration occupancy(hv::PartitionId partition) const;
+
+  /// Context time a partition obtained through interpositions only.
+  [[nodiscard]] sim::Duration interposed_occupancy(hv::PartitionId partition) const;
+
+  /// Writes "begin_us,end_us,partition,reason" rows.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  void on_change(const hv::Hypervisor::ContextChange& change);
+
+  std::vector<Interval> intervals_;
+  bool open_ = false;
+};
+
+}  // namespace rthv::core

@@ -1,0 +1,26 @@
+#include "core/trace_driver.hpp"
+
+#include <cassert>
+
+namespace rthv::core {
+
+TraceIrqDriver::TraceIrqDriver(hw::HwTimer& timer, workload::Trace trace)
+    : timer_(timer), trace_(std::move(trace)) {
+  timer_.set_on_expiry([this] { arm_next(); });
+}
+
+void TraceIrqDriver::start() {
+  assert(!started_);
+  assert(!trace_.empty());
+  started_ = true;
+  timer_.program(trace_.distance(next_++));
+}
+
+void TraceIrqDriver::arm_next() {
+  // Runs in the expiry hook, just before the line is raised; models the
+  // paper's zero-overhead reprogramming from the top handler.
+  if (next_ >= trace_.size()) return;
+  timer_.program(trace_.distance(next_++));
+}
+
+}  // namespace rthv::core

@@ -1,0 +1,83 @@
+// Hypervisor health monitoring (ARINC653 HM flavour).
+//
+// The paper motivates sufficient temporal independence with certification
+// standards (IEC61508); certifiable hypervisors pair the isolation
+// mechanism with a health monitor that records and reports violations of
+// the assumptions the analysis rests on. This module collects such events
+// from the hypervisor:
+//
+//   kIrqQueueOverflow  -- an emulated-IRQ event was dropped (queue full):
+//                         the subscriber is not keeping up with its stream.
+//   kIrqRaiseLost      -- a hardware raise hit an already-pending latch
+//                         (the non-counting-flag hazard of Section 4).
+//   kMonitorViolation  -- an activation violated the delta^- condition
+//                         (expected under scenario 2; a *rate* of
+//                         violations is an integration-error symptom).
+//   kBudgetOverrun     -- an interposed bottom handler did not finish
+//                         within its declared budget C_BHi (its WCET claim
+//                         was wrong) and was carried into its own slot.
+//   kDeferredBoundary  -- a TDMA boundary was deferred by a running bottom
+//                         handler (bounded, but safety cases may cap it).
+//
+// Events are kept in a bounded ring buffer with per-kind counters; an
+// optional callback lets system software react (e.g. ARINC653 partition
+// restart policies).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string_view>
+
+#include "hv/types.hpp"
+#include "sim/time.hpp"
+
+namespace rthv::hv {
+
+enum class HealthEventKind : std::uint8_t {
+  kIrqQueueOverflow,
+  kIrqRaiseLost,
+  kMonitorViolation,
+  kBudgetOverrun,
+  kDeferredBoundary,
+  kCount_,
+};
+
+[[nodiscard]] std::string_view to_string(HealthEventKind k);
+
+struct HealthEvent {
+  sim::TimePoint time;
+  HealthEventKind kind = HealthEventKind::kIrqQueueOverflow;
+  /// Affected partition (kInvalidPartition when not applicable).
+  PartitionId partition = kInvalidPartition;
+  /// Originating IRQ source (UINT32_MAX when not applicable).
+  IrqSourceId source = UINT32_MAX;
+};
+
+class HealthMonitor {
+ public:
+  using Callback = std::function<void(const HealthEvent&)>;
+
+  explicit HealthMonitor(std::size_t ring_capacity = 256);
+
+  void report(const HealthEvent& event);
+
+  void set_callback(Callback cb) { callback_ = std::move(cb); }
+
+  [[nodiscard]] std::uint64_t count(HealthEventKind k) const;
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Most recent events, oldest first (bounded by the ring capacity).
+  [[nodiscard]] const std::deque<HealthEvent>& recent() const { return ring_; }
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<HealthEvent> ring_;
+  std::array<std::uint64_t, static_cast<std::size_t>(HealthEventKind::kCount_)> counts_{};
+  Callback callback_;
+};
+
+}  // namespace rthv::hv

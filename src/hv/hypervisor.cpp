@@ -1,0 +1,576 @@
+#include "hv/hypervisor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rthv::hv {
+
+using sim::Duration;
+using sim::TimePoint;
+using sim::TraceCategory;
+using Reason = Hypervisor::ContextChange::Reason;
+
+Hypervisor::Hypervisor(hw::Platform& platform, const OverheadConfig& overheads)
+    : platform_(platform), overheads_(platform.cpu(), platform.memory(), overheads) {}
+
+PartitionId Hypervisor::add_partition(std::string name, std::size_t irq_queue_capacity) {
+  assert(!started_);
+  const auto id = static_cast<PartitionId>(partitions_.size());
+  partitions_.push_back(std::make_unique<Partition>(id, std::move(name), irq_queue_capacity));
+  return id;
+}
+
+void Hypervisor::set_schedule(std::vector<TdmaSlot> slots) {
+  assert(!started_);
+#ifndef NDEBUG
+  for (const auto& s : slots) assert(s.partition < partitions_.size());
+#endif
+  scheduler_ = std::make_unique<TdmaScheduler>(std::move(slots));
+}
+
+IrqSourceId Hypervisor::add_irq_source(const IrqSourceConfig& config) {
+  assert(!started_);
+  assert(config.line != tdma_line_ && "line 0 is reserved for the TDMA timer");
+  assert(config.line < platform_.intc().num_lines());
+  assert(config.subscriber < partitions_.size());
+  assert(config.c_top.is_positive());
+  assert(config.c_bottom.is_positive());
+  assert(line_to_source_.find(config.line) == line_to_source_.end() &&
+         "one source per IRQ line");
+  const auto id = static_cast<IrqSourceId>(sources_.size());
+  sources_.push_back(Source{config, nullptr, 0});
+  line_to_source_.emplace(config.line, id);
+  return id;
+}
+
+void Hypervisor::set_monitor(IrqSourceId source,
+                             std::unique_ptr<mon::ActivationMonitor> monitor) {
+  sources_.at(source).monitor = std::move(monitor);
+}
+
+void Hypervisor::set_partition_client(PartitionId p, PartitionClient* client) {
+  partitions_.at(p)->set_client(client);
+}
+
+void Hypervisor::start() {
+  assert(!started_);
+  assert(scheduler_ != nullptr && "set_schedule() must be called before start()");
+  started_ = true;
+  ipc_ = std::make_unique<IpcRouter>(num_partitions());
+  tdma_timer_ = &platform_.add_timer(tdma_line_);
+  platform_.intc().set_irq_entry([this] { irq_entry(); });
+  platform_.intc().set_raise_observer([this](hw::IrqLine l) { on_line_raised(l); });
+  platform_.intc().set_lost_raise_observer([this](hw::IrqLine l) {
+    const auto it = line_to_source_.find(l);
+    health_.report(HealthEvent{now(), HealthEventKind::kIrqRaiseLost,
+                               it != line_to_source_.end()
+                                   ? sources_[it->second].config.subscriber
+                                   : kInvalidPartition,
+                               it != line_to_source_.end() ? it->second : UINT32_MAX});
+  });
+  current_partition_ = scheduler_->current_owner();
+  tdma_timer_->program_at(scheduler_->current_boundary());
+  trace_.emit(now(), TraceCategory::kScheduler,
+              "start in partition " + partitions_[current_partition_]->name());
+  if (context_hook_) {
+    context_hook_(ContextChange{now(), current_partition_, Reason::kStart});
+  }
+  dispatch_partition_work();
+}
+
+bool Hypervisor::ipc_send(PartitionId dst, std::uint64_t tag, std::uint64_t payload) {
+  assert(started_);
+  assert(dst < partitions_.size());
+  return ipc_->send(current_partition_, dst, tag, payload, now());
+}
+
+std::optional<IpcMessage> Hypervisor::ipc_receive() {
+  assert(started_);
+  return ipc_->receive(current_partition_);
+}
+
+PortId Hypervisor::create_sampling_port(std::string name, Duration refresh_period) {
+  assert(!started_);
+  return ports_.create_port(std::move(name), refresh_period);
+}
+
+void Hypervisor::port_write(PortId port, std::uint64_t payload) {
+  assert(started_);
+  ports_.write(port, current_partition_, payload, now());
+}
+
+std::optional<PortSample> Hypervisor::port_read(PortId port) const {
+  assert(started_);
+  return ports_.read(port, now());
+}
+
+void Hypervisor::vint_set(bool enabled) {
+  assert(started_);
+  partitions_[current_partition_]->set_virtual_irq_enabled(enabled);
+}
+
+bool Hypervisor::vint_enabled() const {
+  assert(started_);
+  return partitions_[current_partition_]->virtual_irq_enabled();
+}
+
+void Hypervisor::notify_work_available(PartitionId p) {
+  if (!started_) return;
+  assert(p < partitions_.size());
+  // Only act when the CPU is genuinely idling in exactly that partition's
+  // context; in every other state (including mid-completion callbacks, when
+  // the engine's own dispatch continuation is still unwinding) the work is
+  // found at the next dispatch anyway.
+  if (!cpu_idle_ || hv_busy_ || running_ || interpose_ || current_partition_ != p) {
+    return;
+  }
+  dispatch_partition_work();
+}
+
+void Hypervisor::restart_partition(PartitionId p) {
+  assert(started_);
+  assert(p < partitions_.size());
+  if (hv_busy_) {
+    // Mid-IRQ-context (e.g. from a health callback): processed when the
+    // hypervisor sequence returns to partition context.
+    pending_restarts_.push_back(p);
+    return;
+  }
+  do_restart_partition(p);
+  if (!hv_busy_ && !running_ && current_partition_ == p) {
+    dispatch_partition_work();
+  }
+}
+
+void Hypervisor::do_restart_partition(PartitionId p) {
+  Partition& part = *partitions_[p];
+  trace_.emit(now(), TraceCategory::kScheduler, "restart partition " + part.name());
+  ++restarts_;
+
+  // Cancel in-flight work owned by the partition (discarded, not resumed).
+  if (running_ && running_->partition == p) {
+    platform_.simulator().cancel(running_->completion);
+    running_.reset();
+  }
+  part.irq_queue().clear();
+  part.bh_in_progress.reset();
+  part.saved_guest_work.reset();
+  part.set_virtual_irq_enabled(true);
+  if (part.client() != nullptr) part.client()->on_restart();
+
+  if (interpose_ && current_partition_ == p) {
+    // The interposed work was discarded; terminate the interposition.
+    end_interpose();
+  }
+}
+
+void Hypervisor::drain_pending_restarts() {
+  while (!pending_restarts_.empty() && !hv_busy_) {
+    const PartitionId p = pending_restarts_.front();
+    pending_restarts_.erase(pending_restarts_.begin());
+    do_restart_partition(p);
+  }
+}
+
+TimePoint Hypervisor::now() const { return platform_.simulator().now(); }
+
+// --- hardware glue ----------------------------------------------------------
+
+void Hypervisor::on_line_raised(hw::IrqLine line) {
+  line_raise_time_[line] = now();
+}
+
+void Hypervisor::irq_entry() {
+  assert(!hv_busy_);
+  platform_.intc().set_cpu_irq_enabled(false);
+  hv_busy_ = true;
+  cpu_idle_ = false;
+  preempt_running();
+  const auto line = platform_.intc().highest_pending();
+  assert(line.has_value() && "irq_entry without a pending line");
+  service_line(*line);
+}
+
+// --- hypervisor sequences ----------------------------------------------------
+
+void Hypervisor::run_hv_step(hw::WorkCategory category, Duration cost,
+                             std::function<void()> continuation) {
+  assert(hv_busy_);
+  assert(!cost.is_negative());
+  platform_.cpu().retire_duration(category, cost);
+  platform_.simulator().schedule_after(cost, std::move(continuation));
+}
+
+void Hypervisor::context_switch_step(std::function<void()> continuation) {
+  assert(hv_busy_);
+  const auto raw = overheads_.raw_context_switch_cost();
+  platform_.cpu().retire_instructions(hw::WorkCategory::kContextSwitch,
+                                      raw.invalidate_instructions);
+  platform_.cpu().retire_cycles(hw::WorkCategory::kCacheWriteback, raw.writeback_cycles);
+  platform_.simulator().schedule_after(overheads_.context_switch_cost(),
+                                       std::move(continuation));
+}
+
+void Hypervisor::service_line(hw::IrqLine line) {
+  platform_.intc().acknowledge(line);
+  if (line == tdma_line_) {
+    service_tdma_tick();
+    return;
+  }
+  const IrqSourceId sid = line_to_source_.at(line);
+  Source& src = sources_[sid];
+  ++irq_path_stats_.serviced;
+
+  IrqEvent ev;
+  ev.source = sid;
+  ev.seq = src.next_seq++;
+  const auto rt = line_raise_time_.find(line);
+  ev.raise_time = rt != line_raise_time_.end() ? rt->second : now();
+  ev.th_start = now();
+  ev.arrived_in_own_slot = !interpose_ &&
+                           current_partition_ == src.config.subscriber &&
+                           slot_owner() == src.config.subscriber;
+  trace_.emit(now(), TraceCategory::kTopHandler,
+              src.config.name + " seq=" + std::to_string(ev.seq));
+  run_hv_step(hw::WorkCategory::kTopHandler, src.config.c_top,
+              [this, sid, ev] { finish_top_handler(sid, ev); });
+}
+
+void Hypervisor::finish_top_handler(IrqSourceId sid, IrqEvent event) {
+  Source& src = sources_[sid];
+  Partition& subscriber = *partitions_[src.config.subscriber];
+
+  // The monitor observes *every* activation of the source (Algorithm 1 runs
+  // per IRQ); its admission verdict is only consulted -- and its runtime
+  // cost C_Mon only paid -- on the foreign-slot path of Fig. 4b.
+  bool admitted = false;
+  if (src.monitor != nullptr) {
+    admitted = src.monitor->record_and_check(event.raise_time);
+  }
+  event.admitted_interpose = admitted;
+
+  if (!subscriber.irq_queue().push(event)) {
+    health_.report(HealthEvent{now(), HealthEventKind::kIrqQueueOverflow,
+                               src.config.subscriber, sid});
+  }
+
+  if (event.arrived_in_own_slot) {
+    ++irq_path_stats_.direct;
+    return_to_partition();  // direct handling: queue drains on return
+    return;
+  }
+  if (mode_ == TopHandlerMode::kOriginal || src.monitor == nullptr) {
+    return_to_partition();  // delayed handling (Fig. 4a)
+    return;
+  }
+
+  // Modified top handler (Fig. 4b): pay the monitoring function, then decide.
+  ++irq_path_stats_.monitor_checked;
+  run_hv_step(hw::WorkCategory::kMonitor, overheads_.monitor_cost(),
+              [this, sid, admitted] {
+                if (!admitted) {
+                  ++irq_path_stats_.denied_by_monitor;
+                  trace_.emit(now(), TraceCategory::kMonitor, "deny");
+                  health_.report(HealthEvent{now(), HealthEventKind::kMonitorViolation,
+                                             sources_[sid].config.subscriber, sid});
+                  return_to_partition();
+                  return;
+                }
+                if (interpose_ || slot_switch_pending_) {
+                  // Only one interposition at a time; an admitted event that
+                  // meets a busy engine falls back to delayed handling.
+                  ++irq_path_stats_.denied_engine_busy;
+                  return_to_partition();
+                  return;
+                }
+                if (!partitions_[sources_[sid].config.subscriber]->virtual_irq_enabled()) {
+                  // The subscriber guest masked its virtual interrupts
+                  // (critical section); interposing would deliver into it.
+                  ++irq_path_stats_.denied_guest_masked;
+                  return_to_partition();
+                  return;
+                }
+                if (partitions_[sources_[sid].config.subscriber]->bh_in_progress) {
+                  // The subscriber still has a partially executed bottom
+                  // handler (e.g. one that straddled its slot boundary). A
+                  // budget cannot guarantee its completion, and resuming it
+                  // in a foreign slot would chain stale work into other
+                  // partitions' time; deny and let it finish in its own slot.
+                  ++irq_path_stats_.denied_backlog;
+                  return_to_partition();
+                  return;
+                }
+                trace_.emit(now(), TraceCategory::kMonitor, "admit");
+                start_interpose(sid);
+              });
+}
+
+void Hypervisor::start_interpose(IrqSourceId sid) {
+  assert(hv_busy_ && !interpose_);
+  ++irq_path_stats_.interpose_started;
+  const PartitionId target = sources_[sid].config.subscriber;
+  trace_.emit(now(), TraceCategory::kInterpose,
+              "enter partition " + partitions_[target]->name());
+  run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.sched_manipulation_cost(),
+              [this, sid, target] {
+                ++ctx_stats_.interpose_enter;
+                context_switch_step([this, sid, target] {
+                  interpose_ = Interpose{current_partition_, sid,
+                                         sources_[sid].config.c_bottom};
+                  current_partition_ = target;
+                  if (context_hook_) {
+                    context_hook_(ContextChange{now(), current_partition_,
+                                                Reason::kInterposeEnter});
+                  }
+                  return_to_partition();
+                });
+              });
+}
+
+void Hypervisor::end_interpose() {
+  assert(interpose_);
+  assert(!hv_busy_);
+  const PartitionId home = interpose_->home;
+  interpose_.reset();
+  hv_busy_ = true;
+  platform_.intc().set_cpu_irq_enabled(false);
+  if (slot_switch_pending_) {
+    // The TDMA boundary fired during the interposition; perform the deferred
+    // switch now instead of returning home (the switch-back is subsumed).
+    slot_switch_pending_ = false;
+    trace_.emit(now(), TraceCategory::kInterpose, "exit into deferred slot switch");
+    do_slot_switch();
+    return;
+  }
+  trace_.emit(now(), TraceCategory::kInterpose,
+              "return to partition " + partitions_[home]->name());
+  ++ctx_stats_.interpose_return;
+  context_switch_step([this, home] {
+    current_partition_ = home;
+    if (context_hook_) {
+      context_hook_(ContextChange{now(), current_partition_, Reason::kInterposeReturn});
+    }
+    return_to_partition();
+  });
+}
+
+void Hypervisor::service_tdma_tick() {
+  run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.tdma_tick_cost(), [this] {
+    // A boundary that lands inside a bottom handler -- interposed or not --
+    // is deferred until the handler's remaining budget (<= C_BH) elapses.
+    // The next slot is shortened by the deferral; this is the same bounded
+    // interference as Eq. 14 and keeps bottom handlers atomic w.r.t. slot
+    // boundaries (no partially executed handler ever leaks across slots).
+    if (interpose_ || partitions_[current_partition_]->bh_in_progress) {
+      slot_switch_pending_ = true;
+      ++irq_path_stats_.deferred_slot_switches;
+      trace_.emit(now(), TraceCategory::kScheduler, "slot switch deferred");
+      health_.report(HealthEvent{now(), HealthEventKind::kDeferredBoundary,
+                                 current_partition_, UINT32_MAX});
+      return_to_partition();
+      return;
+    }
+    do_slot_switch();
+  });
+}
+
+void Hypervisor::do_slot_switch() {
+  assert(hv_busy_);
+  const PartitionId next = scheduler_->advance();
+  // Boundaries stay on the fixed grid even if this switch was deferred; a
+  // deferral that overran the whole next slot degenerates to an immediate
+  // re-fire.
+  tdma_timer_->program_at(std::max(scheduler_->current_boundary(), now()));
+  ++ctx_stats_.tdma;
+  trace_.emit(now(), TraceCategory::kScheduler,
+              "switch to partition " + partitions_[next]->name());
+  context_switch_step([this, next] {
+    current_partition_ = next;
+    if (context_hook_) {
+      context_hook_(ContextChange{now(), current_partition_, Reason::kTdmaSwitch});
+    }
+    return_to_partition();
+  });
+}
+
+// --- partition context --------------------------------------------------------
+
+void Hypervisor::return_to_partition() {
+  assert(hv_busy_);
+  hv_busy_ = false;
+  // Re-enabling interrupts delivers any latched IRQ synchronously; if one
+  // takes over, it owns the CPU now and will return here itself.
+  platform_.intc().set_cpu_irq_enabled(true);
+  if (hv_busy_) return;
+  if (!pending_restarts_.empty()) {
+    drain_pending_restarts();
+    if (hv_busy_ || running_) return;  // a restart re-entered hv context
+  }
+  dispatch_partition_work();
+}
+
+void Hypervisor::dispatch_partition_work() {
+  assert(!hv_busy_);
+  assert(!running_);
+  cpu_idle_ = false;
+  Partition& p = *partitions_[current_partition_];
+
+  auto pop_bh = [this, &p] {
+    IrqEvent ev = p.irq_queue().pop();
+    const auto& cfg = sources_[ev.source].config;
+    p.bh_in_progress = WorkUnit{hw::WorkCategory::kBottomHandler, cfg.c_bottom, nullptr, ev};
+    trace_.emit(now(), TraceCategory::kBottom,
+                "start " + cfg.name + " seq=" + std::to_string(ev.seq));
+  };
+
+  WorkSlot slot;
+  if (interpose_) {
+    // Budget check precedes the queue pop: an exhausted budget must not
+    // dequeue an event it can no longer serve (it would look like a
+    // partially executed handler and block later admissions).
+    if (!interpose_->budget_left.is_positive()) {
+      end_interpose();
+      return;
+    }
+    if (!p.bh_in_progress) {
+      if (p.irq_queue().empty()) {
+        end_interpose();
+        return;
+      }
+      pop_bh();
+    }
+    slot = WorkSlot::kBottomHandler;
+  } else if (p.bh_in_progress) {
+    slot = WorkSlot::kBottomHandler;
+  } else if (!p.irq_queue().empty() && p.virtual_irq_enabled()) {
+    pop_bh();
+    slot = WorkSlot::kBottomHandler;
+  } else if (p.saved_guest_work) {
+    slot = WorkSlot::kGuest;
+  } else if (p.client() != nullptr) {
+    auto work = p.client()->next_work(now());
+    if (!work) {
+      cpu_idle_ = true;
+      return;
+    }
+    assert(work->remaining.is_positive() && "guest work must have positive demand");
+    assert(work->category == hw::WorkCategory::kGuest);
+    p.saved_guest_work = std::move(*work);
+    slot = WorkSlot::kGuest;
+  } else {
+    cpu_idle_ = true;
+    return;
+  }
+
+  WorkUnit& w = slot == WorkSlot::kBottomHandler ? *p.bh_in_progress : *p.saved_guest_work;
+  Duration slice = w.remaining;
+  if (interpose_) slice = std::min(slice, interpose_->budget_left);
+  running_ = Running{current_partition_, slot, now(), slice, {}};
+  running_->completion =
+      platform_.simulator().schedule_after(slice, [this] { on_slice_complete(); });
+}
+
+void Hypervisor::preempt_running() {
+  if (!running_) return;
+  const Running r = *running_;
+  running_.reset();
+  platform_.simulator().cancel(r.completion);
+  const Duration consumed = now() - r.started_at;
+  Partition& p = *partitions_[r.partition];
+  WorkUnit& w = r.slot == WorkSlot::kBottomHandler ? *p.bh_in_progress
+                                                   : *p.saved_guest_work;
+  w.remaining -= consumed;
+  account_work(p, w, consumed);
+  if (interpose_ && r.slot == WorkSlot::kBottomHandler) {
+    interpose_->budget_left -= consumed;
+  }
+}
+
+void Hypervisor::account_work(Partition& p, const WorkUnit& work, Duration consumed) {
+  platform_.cpu().retire_duration(work.category, consumed);
+  if (work.category == hw::WorkCategory::kBottomHandler) {
+    p.account_bh_time(consumed);
+  } else {
+    p.account_guest_time(consumed);
+  }
+}
+
+void Hypervisor::complete_bottom_handler(Partition& p) {
+  assert(p.bh_in_progress && p.bh_in_progress->event);
+  const WorkUnit work = std::move(*p.bh_in_progress);
+  p.bh_in_progress.reset();
+  p.count_bh_completion();
+
+  const IrqEvent& ev = *work.event;
+  CompletedIrq rec;
+  rec.source = ev.source;
+  rec.seq = ev.seq;
+  rec.raise_time = ev.raise_time;
+  rec.th_start = ev.th_start;
+  rec.bh_end = now();
+  // Classification follows the event's handling path: an event that arrived
+  // in its subscriber's active slot is "direct" even if a boundary-straddling
+  // remainder of its bottom handler finished under a later interposition.
+  if (ev.arrived_in_own_slot) {
+    rec.handling = stats::HandlingClass::kDirect;
+  } else if (interpose_) {
+    rec.handling = stats::HandlingClass::kInterposed;
+  } else {
+    rec.handling = stats::HandlingClass::kDelayed;
+  }
+  trace_.emit(now(), TraceCategory::kBottom,
+              "done seq=" + std::to_string(ev.seq) + " (" +
+                  std::string(stats::to_string(rec.handling)) + ")");
+  if (completion_hook_) completion_hook_(rec);
+  if (p.client() != nullptr) p.client()->on_bottom_handler_complete(ev);
+  if (work.on_complete) work.on_complete();
+}
+
+void Hypervisor::on_slice_complete() {
+  assert(running_);
+  const Running r = *running_;
+  running_.reset();
+  Partition& p = *partitions_[r.partition];
+  WorkUnit& w = r.slot == WorkSlot::kBottomHandler ? *p.bh_in_progress
+                                                   : *p.saved_guest_work;
+  w.remaining -= r.slice;
+  account_work(p, w, r.slice);
+  if (interpose_ && r.slot == WorkSlot::kBottomHandler) {
+    interpose_->budget_left -= r.slice;
+  }
+
+  if (!w.remaining.is_positive()) {
+    if (r.slot == WorkSlot::kBottomHandler) {
+      complete_bottom_handler(p);
+    } else {
+      const auto hook = std::move(w.on_complete);
+      p.saved_guest_work.reset();
+      if (hook) hook();
+    }
+    // A slot switch deferred for this (non-interposed) bottom handler is
+    // performed as soon as it completes.
+    if (slot_switch_pending_ && !interpose_) {
+      slot_switch_pending_ = false;
+      hv_busy_ = true;
+      platform_.intc().set_cpu_irq_enabled(false);
+      do_slot_switch();
+      return;
+    }
+    // During an interposition the dispatcher keeps draining pending bottom
+    // handlers while budget remains (the guest's bottom handler "processes
+    // all pending interrupts", Section 3); dispatch ends the interposition
+    // when the queue is empty or the budget is exhausted.
+    dispatch_partition_work();
+    return;
+  }
+  // Unfinished work with an expired slice only happens when the interpose
+  // budget capped the slice: enforce the budget by ending the interposition;
+  // the remainder continues in the subscriber's own slot.
+  assert(interpose_ && !interpose_->budget_left.is_positive());
+  health_.report(HealthEvent{now(), HealthEventKind::kBudgetOverrun, r.partition,
+                             w.event ? w.event->source : UINT32_MAX});
+  end_interpose();
+}
+
+}  // namespace rthv::hv

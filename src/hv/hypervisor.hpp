@@ -1,0 +1,313 @@
+// The hypervisor.
+//
+// Re-implementation (on the simulated platform) of a uC/OS-MMU-style
+// real-time hypervisor with TDMA partition scheduling and split interrupt
+// handling, plus the paper's contribution: monitored *interposed* execution
+// of IRQ bottom handlers inside foreign TDMA slots.
+//
+// Execution model
+// ---------------
+// The CPU is always in one of three states:
+//  * hypervisor IRQ context -- interrupts disabled; top handlers, monitor
+//    checks, scheduler manipulation and context switches run here as timed,
+//    non-preemptible steps;
+//  * partition context -- interrupts enabled; guest task work and bottom
+//    handlers run here and are preempted immediately by any IRQ;
+//  * idle -- the active partition has no runnable work.
+//
+// Interrupt path (paper Figs. 2/4): a hardware IRQ enters the hypervisor,
+// the top handler acknowledges the line and pushes an emulated-IRQ event
+// into the subscriber partition's FIFO queue. Then
+//  * subscriber active  -> return; the partition drains its queue before
+//    resuming task code (direct handling);
+//  * foreign slot, original top handler (Fig. 4a) -> return; the event
+//    waits for the subscriber's slot (delayed handling);
+//  * foreign slot, modified top handler (Fig. 4b) -> the monitoring
+//    function decides: if the activation conforms to the delta^- condition
+//    the hypervisor manipulates the scheduler, switches into the
+//    subscriber partition, lets exactly one bottom handler execute for at
+//    most its declared budget, and switches back (interposed handling).
+//
+// TDMA slot boundaries lie on a fixed grid (see TdmaScheduler). A boundary
+// that fires while an interposed bottom handler runs is deferred until the
+// handler's budget ends; the next slot is shortened by that deferral, which
+// is exactly the bounded interference of Eq. 14.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hv/health.hpp"
+#include "hv/ipc.hpp"
+#include "hv/overhead_model.hpp"
+#include "hv/partition.hpp"
+#include "hv/sampling_port.hpp"
+#include "hv/tdma_scheduler.hpp"
+#include "hv/types.hpp"
+#include "hw/platform.hpp"
+#include "mon/monitor.hpp"
+#include "sim/trace_log.hpp"
+#include "stats/latency_recorder.hpp"
+
+namespace rthv::hv {
+
+/// Which top handler is installed (paper Fig. 4a vs. 4b).
+enum class TopHandlerMode : std::uint8_t {
+  kOriginal,     // direct/delayed handling only
+  kInterposing,  // monitored interposed handling for sources with a monitor
+};
+
+struct IrqSourceConfig {
+  std::string name;
+  hw::IrqLine line = 0;
+  PartitionId subscriber = kInvalidPartition;
+  sim::Duration c_top;     // C_THi
+  sim::Duration c_bottom;  // C_BHi (also the enforced interpose budget)
+};
+
+/// Completion record passed to the latency hook for every bottom handler.
+struct CompletedIrq {
+  IrqSourceId source = 0;
+  std::uint64_t seq = 0;
+  sim::TimePoint raise_time;
+  sim::TimePoint th_start;
+  sim::TimePoint bh_end;
+  stats::HandlingClass handling = stats::HandlingClass::kDirect;
+
+  /// The paper's measured latency: top-handler activation to bottom-handler
+  /// end (Section 6.1).
+  [[nodiscard]] sim::Duration latency() const { return bh_end - th_start; }
+};
+
+struct ContextSwitchStats {
+  std::uint64_t tdma = 0;              // regular slot switches
+  std::uint64_t interpose_enter = 0;   // switch into the interposed partition
+  std::uint64_t interpose_return = 0;  // switch back afterwards
+  [[nodiscard]] std::uint64_t total() const {
+    return tdma + interpose_enter + interpose_return;
+  }
+};
+
+struct IrqPathStats {
+  std::uint64_t serviced = 0;        // top handlers executed
+  std::uint64_t direct = 0;          // arrived in subscriber's active slot
+  std::uint64_t monitor_checked = 0; // foreign arrivals that paid C_Mon
+  std::uint64_t interpose_started = 0;
+  std::uint64_t denied_by_monitor = 0;
+  std::uint64_t denied_engine_busy = 0;  // admitted but an interpose was active
+  std::uint64_t denied_backlog = 0;      // admitted but a partial BH was pending
+  std::uint64_t denied_guest_masked = 0; // admitted but the subscriber masked vIRQs
+  std::uint64_t deferred_slot_switches = 0;
+};
+
+class Hypervisor {
+ public:
+  Hypervisor(hw::Platform& platform, const OverheadConfig& overheads = {});
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  // --- configuration (before start()) -------------------------------------
+
+  PartitionId add_partition(std::string name, std::size_t irq_queue_capacity = 64);
+
+  /// Installs the TDMA schedule. Every slot must name an existing partition.
+  void set_schedule(std::vector<TdmaSlot> slots);
+
+  IrqSourceId add_irq_source(const IrqSourceConfig& config);
+
+  /// Attaches an activation monitor to a source (required for interposing).
+  void set_monitor(IrqSourceId source, std::unique_ptr<mon::ActivationMonitor> monitor);
+
+  void set_top_handler_mode(TopHandlerMode mode) { mode_ = mode; }
+  [[nodiscard]] TopHandlerMode top_handler_mode() const { return mode_; }
+
+  /// Hook invoked for every completed bottom handler.
+  using CompletionHook = std::function<void(const CompletedIrq&)>;
+  void set_completion_hook(CompletionHook hook) { completion_hook_ = std::move(hook); }
+
+  /// Typed notification whenever a different partition context becomes
+  /// active (timeline/occupancy tracking).
+  struct ContextChange {
+    sim::TimePoint time;
+    PartitionId partition;
+    enum class Reason : std::uint8_t {
+      kStart,            // initial entry at start()
+      kTdmaSwitch,       // regular (or deferred) slot switch
+      kInterposeEnter,   // switched into the subscriber for an interposition
+      kInterposeReturn,  // switched back to the interrupted partition
+    } reason = Reason::kStart;
+  };
+  using ContextHook = std::function<void(const ContextChange&)>;
+  void set_context_hook(ContextHook hook) { context_hook_ = std::move(hook); }
+
+  /// Binds a guest to a partition.
+  void set_partition_client(PartitionId p, PartitionClient* client);
+
+  /// Starts TDMA scheduling; call once, then run the simulator.
+  void start();
+
+  // --- hypercalls (valid from partition context) ---------------------------
+
+  bool ipc_send(PartitionId dst, std::uint64_t tag, std::uint64_t payload);
+  std::optional<IpcMessage> ipc_receive();
+
+  /// Sampling-port hypercalls (ARINC653-style last-value channels). Ports
+  /// are created before start(); writes stamp the calling partition.
+  PortId create_sampling_port(std::string name, sim::Duration refresh_period);
+  void port_write(PortId port, std::uint64_t payload);
+  [[nodiscard]] std::optional<PortSample> port_read(PortId port) const;
+  [[nodiscard]] const SamplingPortBus& sampling_ports() const { return ports_; }
+
+  /// Virtual-interrupt enable of the calling partition (guest critical
+  /// sections). While disabled, queued bottom handlers are not dispatched
+  /// in this partition and no interposition targets it; the change takes
+  /// effect at the next work-unit boundary.
+  void vint_set(bool enabled);
+  [[nodiscard]] bool vint_enabled() const;
+
+  /// Guest notification that new work became runnable in partition `p`
+  /// (e.g. a periodic release fired -- the para-virtual analogue of a guest
+  /// timer interrupt). If that partition's context is active and the CPU is
+  /// idle, dispatching resumes immediately; otherwise this is a no-op (the
+  /// work is picked up at the next natural dispatch point).
+  void notify_work_available(PartitionId p);
+
+  /// Health-management action: discards partition `p`'s queued IRQ events,
+  /// any partially executed or saved work, re-enables its virtual
+  /// interrupts and notifies its client (`on_restart`). Safe to call from
+  /// any context: while the hypervisor is in IRQ context the restart is
+  /// deferred by a zero-delay event. An interposition whose target is
+  /// restarted terminates immediately.
+  void restart_partition(PartitionId p);
+
+  [[nodiscard]] std::uint64_t partition_restarts() const { return restarts_; }
+
+  // --- queries -------------------------------------------------------------
+
+  [[nodiscard]] Partition& partition(PartitionId p) { return *partitions_.at(p); }
+  [[nodiscard]] const Partition& partition(PartitionId p) const { return *partitions_.at(p); }
+  [[nodiscard]] std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(partitions_.size());
+  }
+  [[nodiscard]] const TdmaScheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] const OverheadModel& overheads() const { return overheads_; }
+  [[nodiscard]] const IrqSourceConfig& irq_source(IrqSourceId s) const {
+    return sources_.at(s).config;
+  }
+  [[nodiscard]] const mon::ActivationMonitor* monitor(IrqSourceId s) const {
+    return sources_.at(s).monitor.get();
+  }
+  [[nodiscard]] mon::ActivationMonitor* monitor(IrqSourceId s) {
+    return sources_.at(s).monitor.get();
+  }
+
+  /// Partition whose context is currently loaded (differs from the slot
+  /// owner while an interposed bottom handler runs).
+  [[nodiscard]] PartitionId current_partition() const { return current_partition_; }
+  [[nodiscard]] PartitionId slot_owner() const { return scheduler_->current_owner(); }
+  [[nodiscard]] bool interpose_active() const { return interpose_.has_value(); }
+  [[nodiscard]] bool in_hv_context() const { return hv_busy_; }
+
+  [[nodiscard]] const ContextSwitchStats& context_switches() const { return ctx_stats_; }
+  [[nodiscard]] const IrqPathStats& irq_stats() const { return irq_path_stats_; }
+  [[nodiscard]] const IpcRouter& ipc() const { return *ipc_; }
+
+  [[nodiscard]] sim::TraceLog& trace_log() { return trace_; }
+  [[nodiscard]] HealthMonitor& health() { return health_; }
+  [[nodiscard]] const HealthMonitor& health() const { return health_; }
+
+ private:
+  struct Source {
+    IrqSourceConfig config;
+    std::unique_ptr<mon::ActivationMonitor> monitor;
+    std::uint64_t next_seq = 0;
+  };
+
+  /// Which storage slot of the partition the running work lives in.
+  enum class WorkSlot : std::uint8_t { kBottomHandler, kGuest };
+
+  struct Running {
+    PartitionId partition;
+    WorkSlot slot;
+    sim::TimePoint started_at;
+    sim::Duration slice;
+    sim::EventId completion;
+  };
+
+  struct Interpose {
+    PartitionId home;          // partition whose slot we interrupted
+    IrqSourceId source;        // admitted source (budget owner)
+    sim::Duration budget_left; // enforced execution budget
+  };
+
+  // Hardware glue.
+  void on_line_raised(hw::IrqLine line);
+  void irq_entry();
+
+  // Hypervisor sequences (interrupts disabled).
+  void run_hv_step(hw::WorkCategory category, sim::Duration cost,
+                   std::function<void()> continuation);
+  void context_switch_step(std::function<void()> continuation);
+  void service_line(hw::IrqLine line);
+  void service_tdma_tick();
+  void do_slot_switch();
+  void finish_top_handler(IrqSourceId sid, IrqEvent event);
+  void start_interpose(IrqSourceId sid);
+  void end_interpose();
+
+  // Partition context.
+  void return_to_partition();
+  void dispatch_partition_work();
+  void on_slice_complete();
+  void preempt_running();
+  void account_work(Partition& p, const WorkUnit& work, sim::Duration consumed);
+  void complete_bottom_handler(Partition& p);
+
+  [[nodiscard]] sim::TimePoint now() const;
+
+  hw::Platform& platform_;
+  OverheadModel overheads_;
+  sim::TraceLog trace_;
+
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::unique_ptr<TdmaScheduler> scheduler_;
+  std::vector<Source> sources_;
+  std::unordered_map<hw::IrqLine, IrqSourceId> line_to_source_;
+  std::unordered_map<hw::IrqLine, sim::TimePoint> line_raise_time_;
+  std::unique_ptr<IpcRouter> ipc_;
+  SamplingPortBus ports_;
+
+  hw::HwTimer* tdma_timer_ = nullptr;  // owned by the platform
+  hw::IrqLine tdma_line_ = 0;
+
+  TopHandlerMode mode_ = TopHandlerMode::kOriginal;
+  CompletionHook completion_hook_;
+  ContextHook context_hook_;
+
+  bool started_ = false;
+  bool hv_busy_ = false;
+  /// True only when the CPU is genuinely idle in partition context (the
+  /// last dispatch found no work). Guards notify_work_available against
+  /// dispatching while an engine continuation is still unwinding.
+  bool cpu_idle_ = false;
+  PartitionId current_partition_ = kInvalidPartition;
+  std::optional<Running> running_;
+  std::optional<Interpose> interpose_;
+  bool slot_switch_pending_ = false;
+
+  void do_restart_partition(PartitionId p);
+  void drain_pending_restarts();
+
+  std::vector<PartitionId> pending_restarts_;
+  ContextSwitchStats ctx_stats_;
+  IrqPathStats irq_path_stats_;
+  HealthMonitor health_;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace rthv::hv

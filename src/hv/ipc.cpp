@@ -1,0 +1,40 @@
+#include "hv/ipc.hpp"
+
+#include <cassert>
+
+namespace rthv::hv {
+
+IpcRouter::IpcRouter(std::uint32_t num_partitions, std::size_t mailbox_capacity)
+    : capacity_(mailbox_capacity), mailboxes_(num_partitions) {
+  assert(num_partitions > 0);
+  assert(capacity_ > 0);
+}
+
+bool IpcRouter::send(PartitionId src, PartitionId dst, std::uint64_t tag,
+                     std::uint64_t payload, sim::TimePoint now) {
+  assert(dst < mailboxes_.size());
+  auto& box = mailboxes_[dst];
+  if (box.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  box.push_back(IpcMessage{src, tag, payload, now});
+  ++sent_;
+  return true;
+}
+
+std::optional<IpcMessage> IpcRouter::receive(PartitionId dst) {
+  assert(dst < mailboxes_.size());
+  auto& box = mailboxes_[dst];
+  if (box.empty()) return std::nullopt;
+  IpcMessage m = box.front();
+  box.pop_front();
+  return m;
+}
+
+std::size_t IpcRouter::pending(PartitionId dst) const {
+  assert(dst < mailboxes_.size());
+  return mailboxes_[dst].size();
+}
+
+}  // namespace rthv::hv

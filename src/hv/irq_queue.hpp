@@ -1,0 +1,48 @@
+// Per-partition FIFO interrupt-event queue.
+//
+// The hypervisor pushes emulated IRQ events here from the top handler; the
+// partition drains the queue head-first whenever it gets the CPU. FIFO
+// order is what rules out interference between bottom handlers of the same
+// source in the analysis (Section 4) and prevents out-of-order execution
+// of interposed IRQs (Section 5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "hv/types.hpp"
+
+namespace rthv::hv {
+
+class IrqQueue {
+ public:
+  /// @param capacity maximum queued events; further pushes are dropped and
+  ///                 counted (a real queue is a fixed-size ring buffer).
+  explicit IrqQueue(std::size_t capacity = 64);
+
+  /// Returns false (and counts a drop) when the queue is full.
+  bool push(const IrqEvent& event);
+
+  /// Pops the oldest event. Queue must not be empty.
+  IrqEvent pop();
+
+  /// Discards all queued events (partition restart); returns how many.
+  std::size_t clear();
+
+  [[nodiscard]] const IrqEvent& front() const;
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<IrqEvent> events_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace rthv::hv

@@ -1,0 +1,8 @@
+#include "hv/partition.hpp"
+
+namespace rthv::hv {
+
+Partition::Partition(PartitionId id, std::string name, std::size_t irq_queue_capacity)
+    : id_(id), name_(std::move(name)), irq_queue_(irq_queue_capacity) {}
+
+}  // namespace rthv::hv

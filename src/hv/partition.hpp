@@ -1,0 +1,65 @@
+// Application partition bookkeeping.
+//
+// A partition is "nothing else than a task to the hypervisor's scheduler"
+// (Section 4): it owns an interrupt-event queue, the saved state of
+// whatever work was preempted, and accounting counters. Guest-level
+// behaviour is supplied through a PartitionClient.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "hv/irq_queue.hpp"
+#include "hv/types.hpp"
+
+namespace rthv::hv {
+
+class Partition {
+ public:
+  Partition(PartitionId id, std::string name, std::size_t irq_queue_capacity = 64);
+
+  [[nodiscard]] PartitionId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] IrqQueue& irq_queue() { return irq_queue_; }
+  [[nodiscard]] const IrqQueue& irq_queue() const { return irq_queue_; }
+
+  void set_client(PartitionClient* client) { client_ = client; }
+  [[nodiscard]] PartitionClient* client() const { return client_; }
+
+  /// Guest-controlled virtual-interrupt enable (the para-virtualized
+  /// analogue of a guest's interrupt flag). While disabled, the hypervisor
+  /// neither dispatches queued bottom handlers in this partition nor
+  /// interposes into it; events keep queueing. Toggled via hypercall.
+  [[nodiscard]] bool virtual_irq_enabled() const { return virtual_irq_enabled_; }
+  void set_virtual_irq_enabled(bool on) { virtual_irq_enabled_ = on; }
+
+  /// A bottom handler whose execution started but was preempted (or whose
+  /// interpose budget expired before completion). Resumes ahead of new
+  /// queue events to preserve FIFO order.
+  std::optional<WorkUnit> bh_in_progress;
+
+  /// Guest task work preempted by an IRQ or slot end.
+  std::optional<WorkUnit> saved_guest_work;
+
+  // --- accounting ---------------------------------------------------------
+  void account_bh_time(sim::Duration d) { bh_time_ += d; }
+  void account_guest_time(sim::Duration d) { guest_time_ += d; }
+  [[nodiscard]] sim::Duration bh_time() const { return bh_time_; }
+  [[nodiscard]] sim::Duration guest_time() const { return guest_time_; }
+
+  void count_bh_completion() { ++bh_completions_; }
+  [[nodiscard]] std::uint64_t bh_completions() const { return bh_completions_; }
+
+ private:
+  PartitionId id_;
+  std::string name_;
+  IrqQueue irq_queue_;
+  PartitionClient* client_ = nullptr;
+  bool virtual_irq_enabled_ = true;
+  sim::Duration bh_time_;
+  sim::Duration guest_time_;
+  std::uint64_t bh_completions_ = 0;
+};
+
+}  // namespace rthv::hv

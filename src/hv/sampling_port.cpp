@@ -1,0 +1,51 @@
+#include "hv/sampling_port.hpp"
+
+#include <cassert>
+
+namespace rthv::hv {
+
+PortId SamplingPortBus::create_port(std::string name, sim::Duration refresh_period) {
+  assert(refresh_period.is_positive());
+  const auto id = static_cast<PortId>(ports_.size());
+  Port p;
+  p.name = std::move(name);
+  p.refresh = refresh_period;
+  ports_.push_back(std::move(p));
+  return id;
+}
+
+const std::string& SamplingPortBus::port_name(PortId port) const {
+  return ports_.at(port).name;
+}
+
+void SamplingPortBus::write(PortId port, PartitionId writer, std::uint64_t payload,
+                            sim::TimePoint now) {
+  Port& p = ports_.at(port);
+  p.written = true;
+  p.writer = writer;
+  p.payload = payload;
+  p.written_at = now;
+  ++p.write_count;
+}
+
+std::optional<PortSample> SamplingPortBus::read(PortId port, sim::TimePoint now) const {
+  const Port& p = ports_.at(port);
+  ++p.read_count;
+  if (!p.written) return std::nullopt;
+  PortSample s;
+  s.writer = p.writer;
+  s.payload = p.payload;
+  s.written_at = p.written_at;
+  s.fresh = (now - p.written_at) <= p.refresh;
+  return s;
+}
+
+std::uint64_t SamplingPortBus::writes(PortId port) const {
+  return ports_.at(port).write_count;
+}
+
+std::uint64_t SamplingPortBus::reads(PortId port) const {
+  return ports_.at(port).read_count;
+}
+
+}  // namespace rthv::hv

@@ -1,0 +1,32 @@
+#include "hv/tdma_scheduler.hpp"
+
+#include <cassert>
+
+namespace rthv::hv {
+
+TdmaScheduler::TdmaScheduler(std::vector<TdmaSlot> slots) : slots_(std::move(slots)) {
+  assert(!slots_.empty());
+  cycle_ = sim::Duration::zero();
+  for (const auto& s : slots_) {
+    assert(s.length.is_positive());
+    assert(s.partition != kInvalidPartition);
+    cycle_ += s.length;
+  }
+  boundary_ = sim::TimePoint::origin() + slots_[0].length;
+}
+
+sim::Duration TdmaScheduler::slot_length_of(PartitionId p) const {
+  for (const auto& s : slots_) {
+    if (s.partition == p) return s.length;
+  }
+  return sim::Duration::zero();
+}
+
+PartitionId TdmaScheduler::advance() {
+  index_ = (index_ + 1) % slots_.size();
+  if (index_ == 0) ++cycles_;
+  boundary_ += slots_[index_].length;
+  return slots_[index_].partition;
+}
+
+}  // namespace rthv::hv

@@ -1,0 +1,70 @@
+#include "hw/cpu_model.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace rthv::hw {
+
+std::string_view to_string(WorkCategory c) {
+  switch (c) {
+    case WorkCategory::kTopHandler: return "top-handler";
+    case WorkCategory::kMonitor: return "monitor";
+    case WorkCategory::kSchedManipulation: return "sched-manipulation";
+    case WorkCategory::kContextSwitch: return "context-switch";
+    case WorkCategory::kCacheWriteback: return "cache-writeback";
+    case WorkCategory::kBottomHandler: return "bottom-handler";
+    case WorkCategory::kGuest: return "guest";
+    case WorkCategory::kIdle: return "idle";
+    case WorkCategory::kCount_: break;
+  }
+  return "?";
+}
+
+CpuModel::CpuModel(std::uint64_t freq_hz, std::uint32_t cpi_milli)
+    : freq_hz_(freq_hz), cpi_milli_(cpi_milli) {
+  assert(freq_hz_ > 0);
+  assert(cpi_milli_ > 0);
+  cycle_ps_ = 1'000'000'000'000ULL / freq_hz_;
+  assert(cycle_ps_ > 0 && "frequency above 1 THz not supported");
+}
+
+sim::Duration CpuModel::cycles_to_duration(std::uint64_t cycles) const {
+  // Round picoseconds to nanoseconds (cycle_ps_ is exact for the paper's
+  // 200 MHz: 5000 ps -> 5 ns, so no rounding error occurs there).
+  const std::uint64_t ps = cycles * cycle_ps_;
+  return sim::Duration::ns(static_cast<std::int64_t>((ps + 500) / 1000));
+}
+
+sim::Duration CpuModel::instructions_to_duration(std::uint64_t instructions) const {
+  return cycles_to_duration(instructions * cpi_milli_ / 1000);
+}
+
+std::uint64_t CpuModel::duration_to_cycles(sim::Duration d) const {
+  assert(!d.is_negative());
+  const std::uint64_t ps = static_cast<std::uint64_t>(d.count_ns()) * 1000ULL;
+  return ps / cycle_ps_;
+}
+
+void CpuModel::retire_cycles(WorkCategory c, std::uint64_t cycles) {
+  cycles_[static_cast<std::size_t>(c)] += cycles;
+}
+
+void CpuModel::retire_instructions(WorkCategory c, std::uint64_t instructions) {
+  retire_cycles(c, instructions * cpi_milli_ / 1000);
+}
+
+void CpuModel::retire_duration(WorkCategory c, sim::Duration d) {
+  retire_cycles(c, duration_to_cycles(d));
+}
+
+std::uint64_t CpuModel::cycles_in(WorkCategory c) const {
+  return cycles_[static_cast<std::size_t>(c)];
+}
+
+std::uint64_t CpuModel::total_cycles() const {
+  return std::accumulate(cycles_.begin(), cycles_.end(), std::uint64_t{0});
+}
+
+void CpuModel::reset_accounting() { cycles_.fill(0); }
+
+}  // namespace rthv::hw

@@ -1,0 +1,54 @@
+#include "hw/hw_timer.hpp"
+
+#include <cassert>
+
+namespace rthv::hw {
+
+HwTimer::HwTimer(sim::Simulator& simulator, InterruptController& intc, IrqLine line)
+    : sim_(simulator), intc_(intc), line_(line) {}
+
+void HwTimer::program(sim::Duration delay) {
+  reload_ = sim::Duration::zero();
+  program_at(sim_.now() + delay);
+}
+
+void HwTimer::program_periodic(sim::Duration period) {
+  assert(period.is_positive());
+  reload_ = period;
+  program_at(sim_.now() + period);
+}
+
+void HwTimer::program_at(sim::TimePoint deadline) {
+  assert(deadline >= sim_.now());
+  disarm();
+  deadline_ = deadline;
+  armed_ = true;
+  pending_ = sim_.schedule_at(deadline, [this] { fire(); });
+}
+
+void HwTimer::disarm() {
+  if (armed_) {
+    sim_.cancel(pending_);
+    armed_ = false;
+  }
+}
+
+void HwTimer::cancel() {
+  disarm();
+  reload_ = sim::Duration::zero();
+}
+
+void HwTimer::fire() {
+  armed_ = false;
+  ++fires_;
+  if (reload_.is_positive()) {
+    // Auto-reload before the hook so the hook may cancel or reprogram.
+    deadline_ = deadline_ + reload_;
+    armed_ = true;
+    pending_ = sim_.schedule_at(deadline_, [this] { fire(); });
+  }
+  if (on_expiry_) on_expiry_();
+  intc_.raise(line_);
+}
+
+}  // namespace rthv::hw

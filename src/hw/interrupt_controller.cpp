@@ -1,0 +1,78 @@
+#include "hw/interrupt_controller.hpp"
+
+#include <cassert>
+
+namespace rthv::hw {
+
+InterruptController::InterruptController(std::uint32_t num_lines)
+    : pending_(num_lines, false), enabled_(num_lines, true), lost_per_line_(num_lines, 0) {
+  assert(num_lines > 0);
+}
+
+std::uint64_t InterruptController::lost_raises(IrqLine line) const {
+  assert(line < num_lines());
+  return lost_per_line_[line];
+}
+
+void InterruptController::enable_line(IrqLine line, bool on) {
+  assert(line < num_lines());
+  enabled_[line] = on;
+  if (on) maybe_deliver();
+}
+
+bool InterruptController::line_enabled(IrqLine line) const {
+  assert(line < num_lines());
+  return enabled_[line];
+}
+
+bool InterruptController::raise(IrqLine line) {
+  assert(line < num_lines());
+  ++raises_;
+  if (pending_[line]) {
+    ++lost_raises_;
+    ++lost_per_line_[line];
+    if (lost_raise_observer_) lost_raise_observer_(line);
+    return false;
+  }
+  pending_[line] = true;
+  if (raise_observer_) raise_observer_(line);
+  maybe_deliver();
+  return true;
+}
+
+void InterruptController::acknowledge(IrqLine line) {
+  assert(line < num_lines());
+  pending_[line] = false;
+}
+
+bool InterruptController::pending(IrqLine line) const {
+  assert(line < num_lines());
+  return pending_[line];
+}
+
+std::optional<IrqLine> InterruptController::highest_pending() const {
+  for (IrqLine l = 0; l < num_lines(); ++l) {
+    if (pending_[l] && enabled_[l]) return l;
+  }
+  return std::nullopt;
+}
+
+void InterruptController::set_cpu_irq_enabled(bool on) {
+  cpu_irq_enabled_ = on;
+  if (on) maybe_deliver();
+}
+
+void InterruptController::maybe_deliver() {
+  if (delivering_ || !irq_entry_) return;
+  delivering_ = true;
+  // The entry handler normally disables CPU interrupts and returns (the
+  // hypervisor continues asynchronously); the loop also supports handlers
+  // that re-enable interrupts synchronously and expect back-to-back
+  // delivery of the remaining pending lines.
+  while (cpu_irq_enabled_ && highest_pending().has_value()) {
+    irq_entry_();
+  }
+  delivering_ = false;
+}
+
+}  // namespace rthv::hw

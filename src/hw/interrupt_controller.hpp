@@ -1,0 +1,97 @@
+// Simulated interrupt controller (VIC-like).
+//
+// Fixed number of IRQ lines with level-style *pending* latches, per-line
+// enables, and a fixed line-number priority (lower line number = higher
+// priority, as on the ARM PL190 used with the ARM926ej-s). Only the
+// hypervisor talks to the controller directly -- partitions see "emulated"
+// IRQs through per-partition event queues (paper Section 3).
+//
+// Delivery model: when a line becomes pending while CPU interrupts are
+// enabled, the controller invokes the CPU's IRQ entry callback once. While
+// the CPU runs with interrupts disabled (hypervisor IRQ context), raises
+// only latch; the hypervisor polls `highest_pending()` before returning to
+// partition context.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rthv::hw {
+
+/// Index of a hardware interrupt line.
+using IrqLine = std::uint32_t;
+
+class InterruptController {
+ public:
+  /// Callback invoked when an enabled line is pending and the CPU has
+  /// interrupts enabled. The handler runs with interrupts disabled; the
+  /// controller will not re-invoke it until `set_cpu_irq_enabled(true)`.
+  using IrqEntry = std::function<void()>;
+
+  explicit InterruptController(std::uint32_t num_lines);
+
+  [[nodiscard]] std::uint32_t num_lines() const { return static_cast<std::uint32_t>(enabled_.size()); }
+
+  void set_irq_entry(IrqEntry entry) { irq_entry_ = std::move(entry); }
+
+  /// Observer invoked whenever a line's pending latch becomes newly set
+  /// (before any delivery). Lets the hypervisor record hardware raise
+  /// timestamps even for IRQs latched while interrupts are disabled.
+  using RaiseObserver = std::function<void(IrqLine)>;
+  void set_raise_observer(RaiseObserver observer) { raise_observer_ = std::move(observer); }
+
+  /// Observer invoked when a raise is lost to an already-set latch (the
+  /// non-counting IRQ-flag hazard); used for health monitoring.
+  void set_lost_raise_observer(RaiseObserver observer) {
+    lost_raise_observer_ = std::move(observer);
+  }
+
+  /// Enables/disables a line. Pending state is retained while disabled.
+  void enable_line(IrqLine line, bool on);
+  [[nodiscard]] bool line_enabled(IrqLine line) const;
+
+  /// A device raises a line. The pending latch is *not* counting: raising an
+  /// already-pending line is lost, exactly like real IRQ flags (the paper
+  /// relies on this: "in most cases IRQ flags are not counting").
+  /// Returns false if the raise was lost that way.
+  bool raise(IrqLine line);
+
+  /// Clears the pending latch of a line ("resetting the IRQ flag" -- done by
+  /// the top handler).
+  void acknowledge(IrqLine line);
+
+  [[nodiscard]] bool pending(IrqLine line) const;
+
+  /// Highest-priority (lowest-numbered) enabled pending line, if any.
+  [[nodiscard]] std::optional<IrqLine> highest_pending() const;
+
+  /// CPU-side global interrupt enable. Re-enabling triggers delivery if
+  /// anything is pending.
+  void set_cpu_irq_enabled(bool on);
+  [[nodiscard]] bool cpu_irq_enabled() const { return cpu_irq_enabled_; }
+
+  /// Total raises observed and raises lost to an already-set latch.
+  [[nodiscard]] std::uint64_t raises() const { return raises_; }
+  [[nodiscard]] std::uint64_t lost_raises() const { return lost_raises_; }
+  [[nodiscard]] std::uint64_t lost_raises(IrqLine line) const;
+
+ private:
+  void maybe_deliver();
+
+  std::vector<bool> pending_;
+  std::vector<bool> enabled_;
+  bool cpu_irq_enabled_ = true;
+  bool delivering_ = false;  // re-entrancy guard
+  IrqEntry irq_entry_;
+  RaiseObserver raise_observer_;
+  RaiseObserver lost_raise_observer_;
+  std::uint64_t raises_ = 0;
+  std::uint64_t lost_raises_ = 0;
+  std::vector<std::uint64_t> lost_per_line_;
+};
+
+}  // namespace rthv::hw

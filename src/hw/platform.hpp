@@ -1,0 +1,56 @@
+// Aggregate of the simulated hardware platform.
+//
+// Owns the CPU model, interrupt controller, memory system and a set of
+// hardware timers. One instance models one single-core board (the paper's
+// ARM926ej-s evaluation platform by default).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/cpu_model.hpp"
+#include "hw/hw_timer.hpp"
+#include "hw/interrupt_controller.hpp"
+#include "hw/memory_system.hpp"
+#include "sim/simulator.hpp"
+
+namespace rthv::hw {
+
+struct PlatformConfig {
+  std::uint64_t cpu_freq_hz = 200'000'000;  // ARM926ej-s @ 200 MHz
+  std::uint32_t cpi_milli = 1000;           // 1.0 cycles per instruction
+  std::uint32_t num_irq_lines = 32;
+  std::uint64_t ctx_invalidate_instructions = 5000;
+  std::uint64_t ctx_writeback_cycles = 5000;
+};
+
+class Platform {
+ public:
+  Platform(sim::Simulator& simulator, const PlatformConfig& config = {});
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] CpuModel& cpu() { return cpu_; }
+  [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
+  [[nodiscard]] InterruptController& intc() { return intc_; }
+  [[nodiscard]] MemorySystem& memory() { return memory_; }
+  [[nodiscard]] TimestampTimer& timestamp_timer() { return timestamp_; }
+
+  /// Creates a timer attached to an IRQ line. The platform owns the timer.
+  HwTimer& add_timer(IrqLine line);
+
+  [[nodiscard]] std::size_t num_timers() const { return timers_.size(); }
+  [[nodiscard]] HwTimer& timer(std::size_t i) { return *timers_.at(i); }
+
+ private:
+  sim::Simulator& sim_;
+  CpuModel cpu_;
+  InterruptController intc_;
+  MemorySystem memory_;
+  TimestampTimer timestamp_;
+  std::vector<std::unique_ptr<HwTimer>> timers_;
+};
+
+}  // namespace rthv::hw

@@ -1,0 +1,87 @@
+#include "mon/learning_monitor.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rthv::mon {
+
+LearningDeltaMonitor::LearningDeltaMonitor(std::size_t depth,
+                                           std::uint64_t learning_events,
+                                           DeltaVector bound)
+    : learning_remaining_(learning_events),
+      bound_(std::move(bound)),
+      learned_(depth, sim::Duration::max()),
+      tracebuffer_(depth) {
+  assert(depth > 0);
+  assert(bound_.empty() || bound_.size() == depth);
+  if (learning_remaining_ == 0) finish_learning();
+}
+
+const DeltaVector& LearningDeltaMonitor::enforced() const {
+  assert(phase_ == Phase::kRunning && "enforced vector exists only after learning");
+  return enforced_;
+}
+
+void LearningDeltaMonitor::push(sim::TimePoint now) {
+  for (std::size_t i = std::min(count_ + 1, tracebuffer_.size()); i-- > 1;) {
+    tracebuffer_[i] = tracebuffer_[i - 1];
+  }
+  tracebuffer_[0] = now;
+  if (count_ < tracebuffer_.size()) ++count_;
+}
+
+void LearningDeltaMonitor::learn(sim::TimePoint now) {
+  // Algorithm 1: shrink each recorded minimum distance if the current
+  // activation is closer to the i-th previous one than anything seen so far.
+  for (std::size_t i = 0; i < count_; ++i) {
+    const sim::Duration dist = now - tracebuffer_[i];
+    learned_[i] = std::min(learned_[i], dist);
+  }
+  push(now);
+}
+
+void LearningDeltaMonitor::finish_learning() {
+  // Algorithm 2: raise learned distances to the predefined upper bound.
+  enforced_ = learned_;
+  if (!bound_.empty()) {
+    for (std::size_t i = 0; i < enforced_.size(); ++i) {
+      enforced_[i] = std::max(enforced_[i], bound_[i]);
+    }
+  }
+  // Entries never exercised during learning stay at Duration::max(), which
+  // would deny everything; clamp them to the bound (or to the largest
+  // learned entry) instead.
+  for (std::size_t i = 0; i < enforced_.size(); ++i) {
+    if (enforced_[i] == sim::Duration::max()) {
+      enforced_[i] = bound_.empty()
+                         ? (i > 0 ? enforced_[i - 1] : sim::Duration::zero())
+                         : bound_[i];
+    }
+  }
+  // Enforce monotonicity (a delta^- function is non-decreasing).
+  for (std::size_t i = 1; i < enforced_.size(); ++i) {
+    enforced_[i] = std::max(enforced_[i], enforced_[i - 1]);
+  }
+  phase_ = Phase::kRunning;
+}
+
+bool LearningDeltaMonitor::record_and_check(sim::TimePoint now) {
+  if (phase_ == Phase::kLearning) {
+    learn(now);
+    if (--learning_remaining_ == 0) finish_learning();
+    count(false);
+    return false;  // learning phase: delayed/direct handling only
+  }
+  bool admit = true;
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (now - tracebuffer_[i] < enforced_[i]) {
+      admit = false;
+      break;
+    }
+  }
+  push(now);
+  count(admit);
+  return admit;
+}
+
+}  // namespace rthv::mon

@@ -1,0 +1,66 @@
+#include "mon/monitor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rthv::mon {
+
+DeltaMinMonitor::DeltaMinMonitor(sim::Duration d_min) : d_min_(d_min) {
+  assert(!d_min.is_negative());
+}
+
+bool DeltaMinMonitor::record_and_check(sim::TimePoint now) {
+  const bool admit = !has_previous_ || (now - previous_) >= d_min_;
+  previous_ = now;
+  has_previous_ = true;
+  count(admit);
+  return admit;
+}
+
+DeltaVectorMonitor::DeltaVectorMonitor(DeltaVector deltas)
+    : deltas_(std::move(deltas)), tracebuffer_(deltas_.size()) {
+  assert(!deltas_.empty());
+#ifndef NDEBUG
+  // delta^- functions are non-decreasing in the span.
+  for (std::size_t i = 1; i < deltas_.size(); ++i) {
+    assert(deltas_[i] >= deltas_[i - 1]);
+  }
+#endif
+}
+
+bool DeltaVectorMonitor::peek(sim::TimePoint now) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (now - tracebuffer_[i] < deltas_[i]) return false;
+  }
+  return true;
+}
+
+void DeltaVectorMonitor::push(sim::TimePoint now) {
+  // Right-shift the tracebuffer and store the newest activation at [0]
+  // (Algorithm 1, lines 4-5).
+  for (std::size_t i = std::min(count_ + 1, tracebuffer_.size()); i-- > 1;) {
+    tracebuffer_[i] = tracebuffer_[i - 1];
+  }
+  tracebuffer_[0] = now;
+  if (count_ < tracebuffer_.size()) ++count_;
+}
+
+bool DeltaVectorMonitor::record_and_check(sim::TimePoint now) {
+  const bool admit = peek(now);
+  push(now);
+  count(admit);
+  return admit;
+}
+
+DeltaVector scale_for_load_fraction(const DeltaVector& deltas, double fraction) {
+  assert(fraction > 0.0 && fraction <= 1.0);
+  DeltaVector out;
+  out.reserve(deltas.size());
+  for (const auto d : deltas) {
+    out.push_back(sim::Duration::ns(static_cast<std::int64_t>(
+        std::llround(static_cast<double>(d.count_ns()) / fraction))));
+  }
+  return out;
+}
+
+}  // namespace rthv::mon

@@ -1,0 +1,106 @@
+// delta^- based activation-pattern monitors.
+//
+// The paper gates interposed bottom-handler execution with the minimum-
+// distance monitoring scheme of Neukirchner et al. (RTSS 2012): a monitor
+// stores the timestamps of the last `l` activations in a tracebuffer and a
+// vector delta[0..l-1] of minimum admissible distances, where delta[i] is
+// the minimum distance between an activation and the activation i+1
+// positions before it (delta[0] is the consecutive-event distance d_min).
+//
+// An activation at time t is *conforming* iff
+//     for all i in [0, l-1]:  t - tracebuffer[i] >= delta[i].
+// Conforming activations may be interposed into a foreign TDMA slot; the
+// rest fall back to delayed handling. Every activation -- admitted or not --
+// is recorded in the tracebuffer, exactly as Algorithm 1 of the paper does,
+// so distances are always measured against the true arrival history.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rthv::mon {
+
+/// Minimum-distance vector; entry i bounds the distance spanning i+1 gaps.
+using DeltaVector = std::vector<sim::Duration>;
+
+/// Interface the hypervisor's modified top handler calls ("Interposing IRQ
+/// denied?" decision box in Fig. 4b).
+class ActivationMonitor {
+ public:
+  virtual ~ActivationMonitor() = default;
+
+  /// Records the activation at `now` and returns true iff interposed
+  /// handling is permitted for it.
+  virtual bool record_and_check(sim::TimePoint now) = 0;
+
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t denied() const { return denied_; }
+  [[nodiscard]] std::uint64_t observed() const { return admitted_ + denied_; }
+
+ protected:
+  void count(bool admit) { (admit ? admitted_ : denied_)++; }
+
+ private:
+  std::uint64_t admitted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+/// The l = 1 special case of the scheme: a single minimum distance d_min
+/// between consecutive activations (the configuration used in the paper's
+/// Section 6.1 experiments). State is intentionally minimal -- the paper
+/// reports 28 bytes of data overhead for the whole monitoring scheme.
+class DeltaMinMonitor final : public ActivationMonitor {
+ public:
+  explicit DeltaMinMonitor(sim::Duration d_min);
+
+  bool record_and_check(sim::TimePoint now) override;
+
+  [[nodiscard]] sim::Duration d_min() const { return d_min_; }
+
+ private:
+  sim::Duration d_min_;
+  bool has_previous_ = false;
+  sim::TimePoint previous_;
+};
+
+/// General l >= 1 monitor against a full delta^- vector.
+class DeltaVectorMonitor final : public ActivationMonitor {
+ public:
+  explicit DeltaVectorMonitor(DeltaVector deltas);
+
+  bool record_and_check(sim::TimePoint now) override;
+
+  [[nodiscard]] const DeltaVector& deltas() const { return deltas_; }
+  [[nodiscard]] std::size_t depth() const { return deltas_.size(); }
+
+  /// Would an activation at `now` conform, without recording it?
+  [[nodiscard]] bool peek(sim::TimePoint now) const;
+
+ private:
+  void push(sim::TimePoint now);
+
+  DeltaVector deltas_;
+  // tracebuffer[0] is the most recent activation; filled up to `count_`.
+  std::vector<sim::TimePoint> tracebuffer_;
+  std::size_t count_ = 0;
+};
+
+/// A monitor that admits everything (models "monitoring disabled" while
+/// keeping the counting interface).
+class AlwaysAdmitMonitor final : public ActivationMonitor {
+ public:
+  bool record_and_check(sim::TimePoint) override {
+    count(true);
+    return true;
+  }
+};
+
+/// Scales a delta vector so that the admissible long-term load becomes
+/// `fraction` of the load the vector currently permits (load ~ 1/distance,
+/// so distances are divided by the fraction). Used for the Appendix A
+/// bounds that allow 25 % / 12.5 % / 6.25 % of the recorded load.
+[[nodiscard]] DeltaVector scale_for_load_fraction(const DeltaVector& deltas, double fraction);
+
+}  // namespace rthv::mon

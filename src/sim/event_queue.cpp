@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rthv::sim {
+
+EventId EventQueue::schedule(TimePoint t, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_count_;
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  auto it = callbacks_.find(id.id_);
+  if (it == callbacks_.end()) return false;  // already ran or cancelled
+  callbacks_.erase(it);
+  cancelled_.insert(id.id_);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    auto* self = const_cast<EventQueue*>(this);
+    auto cit = self->cancelled_.find(heap_.top().id);
+    if (cit == self->cancelled_.end()) return;
+    self->cancelled_.erase(cit);
+    self->heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty() && "next_time() on empty EventQueue");
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(e.id);
+  assert(it != callbacks_.end());
+  Popped out{e.time, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return out;
+}
+
+}  // namespace rthv::sim

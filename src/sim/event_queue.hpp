@@ -1,0 +1,89 @@
+// Pending-event set of the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, sequence number). The sequence number
+// makes ordering of simultaneous events deterministic (FIFO by scheduling
+// order), which keeps every experiment bit-reproducible. Cancellation is
+// lazy: cancelled entries stay in the heap and are discarded on pop, so both
+// schedule and cancel are O(log n) / O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rthv::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+  constexpr bool operator==(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  explicit constexpr EventId(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;  // 0 == invalid / never scheduled
+};
+
+/// Time-ordered queue of one-shot callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute time `t`. Events with equal time run
+  /// in scheduling order.
+  EventId schedule(TimePoint t, Callback cb);
+
+  /// Cancels a previously scheduled event. Returns true if the event was
+  /// still pending (i.e. it will now never run).
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Must not be called on an empty queue.
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest live event. Must not be called on an
+  /// empty queue.
+  struct Popped {
+    TimePoint time;
+    Callback callback;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Heap position irrelevant for callbacks; stored alongside.
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  // Callbacks keyed by id; kept out of the heap so Entry stays trivially
+  // copyable during sift operations.
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace rthv::sim

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rthv::sim {
+
+EventId Simulator::schedule_at(TimePoint t, EventQueue::Callback cb) {
+  assert(t >= now_ && "cannot schedule an event in the simulated past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::schedule_after(Duration d, EventQueue::Callback cb) {
+  assert(!d.is_negative() && "delay must be non-negative");
+  return queue_.schedule(now_ + d, std::move(cb));
+}
+
+std::uint64_t Simulator::run_until(TimePoint horizon) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon && !event_limit_reached()) {
+    auto [time, cb] = queue_.pop();
+    now_ = time;
+    ++executed_;
+    ++n;
+    cb();
+  }
+  // Do not jump the clock when the event limit cut the run short.
+  if (horizon != TimePoint::max() && now_ < horizon && !event_limit_reached()) {
+    now_ = horizon;
+  }
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, cb] = queue_.pop();
+  now_ = time;
+  ++executed_;
+  cb();
+  return true;
+}
+
+}  // namespace rthv::sim

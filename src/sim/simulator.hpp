@@ -1,0 +1,60 @@
+// The discrete-event simulator: a virtual clock plus the event queue.
+//
+// Components schedule callbacks at absolute or relative times; run() pops
+// events in time order and advances the clock. Time never moves backwards,
+// and callbacks scheduled "now" from within a callback run after all other
+// callbacks already pending at the same instant (FIFO among equals).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace rthv::sim {
+
+class Simulator {
+ public:
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must not be in the past).
+  EventId schedule_at(TimePoint t, EventQueue::Callback cb);
+
+  /// Schedules `cb` after a non-negative delay from now.
+  EventId schedule_after(Duration d, EventQueue::Callback cb);
+
+  /// Cancels a pending event; returns true if it had not yet run.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or `horizon` is reached. Events at
+  /// exactly `horizon` are executed; the clock is left at `horizon` if the
+  /// horizon cut the run short, else at the last event time.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(TimePoint horizon);
+
+  /// Runs until the queue is empty.
+  std::uint64_t run() { return run_until(TimePoint::max()); }
+
+  /// Executes exactly one event if available; returns false on empty queue.
+  bool step();
+
+  /// Safety valve for tests: run_until() stops (returning normally) once
+  /// this many events have executed in total. Zero disables the limit.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+  [[nodiscard]] bool event_limit_reached() const {
+    return event_limit_ != 0 && executed_ >= event_limit_;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = 0;
+};
+
+}  // namespace rthv::sim

@@ -1,0 +1,33 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace rthv::sim {
+
+Duration Duration::from_us_f(double v) {
+  return Duration{static_cast<std::int64_t>(std::llround(v * 1e3))};
+}
+
+std::string Duration::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::string TimePoint::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.as_us() << "us";
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t=" << t.as_us() << "us";
+}
+
+}  // namespace rthv::sim

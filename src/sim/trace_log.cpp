@@ -1,0 +1,36 @@
+#include "sim/trace_log.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rthv::sim {
+
+std::string_view to_string(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kIrq: return "irq";
+    case TraceCategory::kTopHandler: return "top";
+    case TraceCategory::kMonitor: return "mon";
+    case TraceCategory::kScheduler: return "sched";
+    case TraceCategory::kInterpose: return "interpose";
+    case TraceCategory::kBottom: return "bottom";
+    case TraceCategory::kGuest: return "guest";
+    case TraceCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+std::size_t TraceLog::count(TraceCategory c) const {
+  return static_cast<std::size_t>(std::count_if(
+      records_.begin(), records_.end(),
+      [c](const Record& r) { return r.category == c; }));
+}
+
+std::string TraceLog::render() const {
+  std::ostringstream os;
+  for (const auto& r : records_) {
+    os << r.time << " [" << to_string(r.category) << "] " << r.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rthv::sim

@@ -1,0 +1,59 @@
+// Lightweight structured trace log for debugging and assertions in tests.
+//
+// Components emit (time, category, message) records. Recording is off by
+// default; when off, emit() is a cheap early-out so production runs pay
+// almost nothing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rthv::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kIrq,        // hardware IRQ raised / acknowledged
+  kTopHandler, // hypervisor top-handler activity
+  kMonitor,    // monitor admit / deny decisions
+  kScheduler,  // TDMA slot switches
+  kInterpose,  // interposed bottom-handler execution
+  kBottom,     // bottom-handler execution
+  kGuest,      // guest OS activity
+  kOther,
+};
+
+[[nodiscard]] std::string_view to_string(TraceCategory c);
+
+class TraceLog {
+ public:
+  struct Record {
+    TimePoint time;
+    TraceCategory category;
+    std::string message;
+  };
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void emit(TimePoint t, TraceCategory c, std::string msg) {
+    if (!enabled_) return;
+    records_.push_back(Record{t, c, std::move(msg)});
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of records in a given category (handy for test assertions).
+  [[nodiscard]] std::size_t count(TraceCategory c) const;
+
+  /// Renders all records as "t=...us [cat] msg" lines.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Record> records_;
+};
+
+}  // namespace rthv::sim

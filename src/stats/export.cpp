@@ -1,0 +1,69 @@
+#include "stats/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace rthv::stats {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write file: " + path);
+  return os;
+}
+
+}  // namespace
+
+void write_csv_file(const std::string& path, const std::string& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  auto os = open_or_throw(path);
+  os << header << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ",";
+      os << row[i];
+    }
+    os << "\n";
+  }
+}
+
+void write_histogram_csv(const std::string& path, const Histogram& histogram) {
+  auto os = open_or_throw(path);
+  histogram.write_csv(os);
+}
+
+void write_histogram_gnuplot(const std::string& script_path, const std::string& csv_path,
+                             const std::string& title) {
+  auto os = open_or_throw(script_path);
+  os << "# gnuplot script -- run: gnuplot " << script_path << "\n"
+     << "set datafile separator ','\n"
+     << "set title '" << title << "'\n"
+     << "set xlabel 'IRQ latency [us]'\n"
+     << "set ylabel 'number of IRQs (log)'\n"
+     << "set logscale y\n"
+     << "set style fill solid 0.6\n"
+     << "set boxwidth 0.9 relative\n"
+     << "set key off\n"
+     << "plot '" << csv_path
+     << "' using (($1+$2)/2):($3 > 0 ? $3 : 1/0) skip 1 with boxes\n";
+}
+
+void write_series_gnuplot(const std::string& script_path, const std::string& csv_path,
+                          const std::string& title, std::size_t num_series) {
+  auto os = open_or_throw(script_path);
+  os << "# gnuplot script -- run: gnuplot " << script_path << "\n"
+     << "set datafile separator ','\n"
+     << "set title '" << title << "'\n"
+     << "set xlabel 'IRQ events'\n"
+     << "set ylabel 'avg. IRQ latency [us]'\n"
+     << "set key autotitle columnhead\n"
+     << "plot";
+  for (std::size_t i = 0; i < num_series; ++i) {
+    os << (i == 0 ? " " : ", ") << "'" << csv_path << "' using 1:"
+       << (i + 2) << " with lines lw 2";
+  }
+  os << "\n";
+}
+
+}  // namespace rthv::stats

@@ -1,0 +1,31 @@
+// File export helpers for experiment artefacts: CSV series and gnuplot
+// scripts that regenerate the paper's figures from the bench outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/histogram.hpp"
+
+namespace rthv::stats {
+
+/// Writes a CSV file: `header` (one line, comma-separated) then one line
+/// per row. Throws std::runtime_error if the file cannot be written.
+void write_csv_file(const std::string& path, const std::string& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Writes a histogram as CSV (bin_lo_us, bin_hi_us, count).
+void write_histogram_csv(const std::string& path, const Histogram& histogram);
+
+/// Emits a gnuplot script that renders a latency histogram CSV in the style
+/// of the paper's Fig. 6 panels (latency on x, counts on log-y to emulate
+/// the broken axis). `csv_path` is referenced relative to the script.
+void write_histogram_gnuplot(const std::string& script_path, const std::string& csv_path,
+                             const std::string& title);
+
+/// Emits a gnuplot script for Fig. 7-style series: first CSV column is the
+/// x axis (IRQ events), each further column one curve.
+void write_series_gnuplot(const std::string& script_path, const std::string& csv_path,
+                          const std::string& title, std::size_t num_series);
+
+}  // namespace rthv::stats

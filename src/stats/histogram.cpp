@@ -1,0 +1,70 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace rthv::stats {
+
+Histogram::Histogram(sim::Duration lo, sim::Duration hi, sim::Duration bin_width)
+    : lo_(lo), width_(bin_width) {
+  assert(bin_width.is_positive());
+  assert(hi > lo);
+  const std::int64_t span = (hi - lo).count_ns();
+  const std::int64_t w = bin_width.count_ns();
+  bins_.assign(static_cast<std::size_t>((span + w - 1) / w), 0);
+}
+
+void Histogram::add(sim::Duration sample) {
+  ++total_;
+  if (sample < lo_) {
+    ++underflow_;
+    return;
+  }
+  const std::int64_t idx = (sample - lo_).count_ns() / width_.count_ns();
+  if (idx >= static_cast<std::int64_t>(bins_.size())) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[static_cast<std::size_t>(idx)];
+}
+
+sim::Duration Histogram::bin_lower(std::size_t i) const {
+  assert(i < bins_.size());
+  return lo_ + width_ * static_cast<std::int64_t>(i);
+}
+
+sim::Duration Histogram::bin_upper(std::size_t i) const {
+  return bin_lower(i) + width_;
+}
+
+void Histogram::write_csv(std::ostream& os) const {
+  os << "bin_lo_us,bin_hi_us,count\n";
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    os << bin_lower(i).as_us() << "," << bin_upper(i).as_us() << "," << bins_[i] << "\n";
+  }
+}
+
+void Histogram::write_ascii(std::ostream& os, std::size_t max_width) const {
+  const std::uint64_t peak = bins_.empty()
+                                 ? 0
+                                 : *std::max_element(bins_.begin(), bins_.end());
+  if (peak == 0) {
+    os << "(empty histogram)\n";
+    return;
+  }
+  const double log_peak = std::log1p(static_cast<double>(peak));
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const auto bar_len = static_cast<std::size_t>(
+        std::log1p(static_cast<double>(bins_[i])) / log_peak *
+        static_cast<double>(max_width));
+    os << "[" << bin_lower(i).as_us() << ", " << bin_upper(i).as_us() << ") "
+       << std::string(std::max<std::size_t>(bar_len, 1), '#') << " " << bins_[i] << "\n";
+  }
+  if (underflow_ > 0) os << "underflow: " << underflow_ << "\n";
+  if (overflow_ > 0) os << "overflow: " << overflow_ << "\n";
+}
+
+}  // namespace rthv::stats

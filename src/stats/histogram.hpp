@@ -1,0 +1,46 @@
+// Fixed-width-bin histogram over durations (the paper's Fig. 6 panels are
+// histograms of IRQ latencies with a broken y-axis; we render counts per
+// bin as CSV rows and a coarse ASCII plot).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rthv::stats {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) with the given width; samples below lo land in an
+  /// underflow bucket, samples >= hi in an overflow bucket.
+  Histogram(sim::Duration lo, sim::Duration hi, sim::Duration bin_width);
+
+  void add(sim::Duration sample);
+
+  [[nodiscard]] std::size_t num_bins() const { return bins_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
+  [[nodiscard]] sim::Duration bin_lower(std::size_t i) const;
+  [[nodiscard]] sim::Duration bin_upper(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Writes "bin_lo_us,bin_hi_us,count" rows.
+  void write_csv(std::ostream& os) const;
+
+  /// Coarse ASCII bar rendering (log-ish scaling, mirrors the paper's broken
+  /// y-axis readability trick), skipping empty bins.
+  void write_ascii(std::ostream& os, std::size_t max_width = 60) const;
+
+ private:
+  sim::Duration lo_;
+  sim::Duration width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rthv::stats

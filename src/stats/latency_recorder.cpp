@@ -1,0 +1,52 @@
+#include "stats/latency_recorder.hpp"
+
+#include <cassert>
+#include <ostream>
+
+namespace rthv::stats {
+
+std::string_view to_string(HandlingClass c) {
+  switch (c) {
+    case HandlingClass::kDirect: return "direct";
+    case HandlingClass::kInterposed: return "interposed";
+    case HandlingClass::kDelayed: return "delayed";
+    case HandlingClass::kCount_: break;
+  }
+  return "?";
+}
+
+void LatencyRecorder::record(HandlingClass cls, sim::Duration latency) {
+  assert(cls != HandlingClass::kCount_);
+  per_class_[static_cast<std::size_t>(cls)].add(latency);
+  all_.add(latency);
+}
+
+const Summary& LatencyRecorder::of(HandlingClass cls) const {
+  assert(cls != HandlingClass::kCount_);
+  return per_class_[static_cast<std::size_t>(cls)];
+}
+
+double LatencyRecorder::fraction(HandlingClass cls) const {
+  if (total() == 0) return 0.0;
+  return static_cast<double>(count(cls)) / static_cast<double>(total());
+}
+
+void LatencyRecorder::write_summary(std::ostream& os) const {
+  for (auto cls : {HandlingClass::kDirect, HandlingClass::kInterposed,
+                   HandlingClass::kDelayed}) {
+    os << to_string(cls) << " " << fraction(cls) * 100.0 << "% (" << count(cls) << ")";
+    if (count(cls) > 0) {
+      os << " avg " << of(cls).mean().as_us() << "us";
+    }
+    os << " | ";
+  }
+  if (total() > 0) {
+    os << "overall avg " << all_.mean().as_us() << "us, max " << all_.max().as_us()
+       << "us over " << total() << " IRQs";
+  } else {
+    os << "no IRQs recorded";
+  }
+  os << "\n";
+}
+
+}  // namespace rthv::stats

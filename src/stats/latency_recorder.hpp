@@ -1,0 +1,44 @@
+// Per-class IRQ latency recording.
+//
+// Every completed bottom-handler invocation is classified the way the paper
+// classifies them (Section 6.1): *direct* (arrived during the subscriber's
+// own slot), *interposed* (executed in a foreign slot via the monitored
+// path) or *delayed* (waited for the subscriber's next slot).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+#include "stats/summary.hpp"
+
+namespace rthv::stats {
+
+enum class HandlingClass : std::uint8_t { kDirect, kInterposed, kDelayed, kCount_ };
+
+[[nodiscard]] std::string_view to_string(HandlingClass c);
+
+class LatencyRecorder {
+ public:
+  void record(HandlingClass cls, sim::Duration latency);
+
+  [[nodiscard]] const Summary& of(HandlingClass cls) const;
+  [[nodiscard]] const Summary& all() const { return all_; }
+
+  [[nodiscard]] std::uint64_t count(HandlingClass cls) const { return of(cls).count(); }
+  [[nodiscard]] std::uint64_t total() const { return all_.count(); }
+
+  /// Fraction of events in the class (0 if nothing recorded).
+  [[nodiscard]] double fraction(HandlingClass cls) const;
+
+  /// Prints the paper-style one-line summary:
+  /// "direct 40% | interposed 40% | delayed 20% | avg 1200us | max ...".
+  void write_summary(std::ostream& os) const;
+
+ private:
+  std::array<Summary, static_cast<std::size_t>(HandlingClass::kCount_)> per_class_;
+  Summary all_;
+};
+
+}  // namespace rthv::stats

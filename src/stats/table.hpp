@@ -1,0 +1,30 @@
+// Minimal fixed-column ASCII table builder for paper-style bench output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rthv::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  void write(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision -- convenience for cells.
+  [[nodiscard]] static std::string num(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rthv::stats

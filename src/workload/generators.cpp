@@ -1,0 +1,111 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rthv::workload {
+
+ExponentialTraceGenerator::ExponentialTraceGenerator(sim::Duration mean,
+                                                     std::uint64_t seed,
+                                                     sim::Duration floor)
+    : mean_(mean), floor_(floor), rng_(seed) {
+  assert(mean_.is_positive());
+  assert(!floor_.is_negative());
+}
+
+Trace ExponentialTraceGenerator::generate(std::size_t count) {
+  std::vector<sim::Duration> d;
+  d.reserve(count);
+  const double mean_ns = static_cast<double>(mean_.count_ns());
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto sample = sim::Duration::ns(
+        static_cast<std::int64_t>(rng_.exponential(mean_ns)));
+    d.push_back(std::max(sample, floor_));
+  }
+  return Trace(std::move(d));
+}
+
+PeriodicTraceGenerator::PeriodicTraceGenerator(sim::Duration period, sim::Duration jitter,
+                                               sim::Duration phase, std::uint64_t seed)
+    : period_(period), jitter_(jitter), phase_(phase), rng_(seed) {
+  assert(period_.is_positive());
+  assert(!jitter_.is_negative());
+  assert(jitter_ < period_ && "jitter >= period would reorder activations");
+  assert(!phase_.is_negative());
+}
+
+std::vector<sim::TimePoint> PeriodicTraceGenerator::generate_until(sim::Duration horizon) {
+  std::vector<sim::TimePoint> out;
+  const double jitter_ns = static_cast<double>(jitter_.count_ns());
+  for (sim::Duration nominal = phase_; nominal <= horizon; nominal += period_) {
+    const auto offset = sim::Duration::ns(
+        static_cast<std::int64_t>(rng_.uniform_range(-jitter_ns, jitter_ns)));
+    sim::Duration t = nominal + offset;
+    if (t.is_negative()) t = sim::Duration::zero();
+    if (t <= horizon) out.push_back(sim::TimePoint::origin() + t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+BurstTraceGenerator::BurstTraceGenerator(sim::Duration mean_burst_separation,
+                                         std::uint32_t max_burst_len,
+                                         sim::Duration intra_distance, std::uint64_t seed)
+    : separation_(mean_burst_separation), max_len_(max_burst_len), intra_(intra_distance),
+      rng_(seed) {
+  assert(separation_.is_positive());
+  assert(max_len_ >= 1);
+  assert(intra_.is_positive());
+}
+
+std::vector<sim::TimePoint> BurstTraceGenerator::generate_until(sim::Duration horizon) {
+  std::vector<sim::TimePoint> out;
+  const double sep_ns = static_cast<double>(separation_.count_ns());
+  sim::Duration t = sim::Duration::zero();
+  while (true) {
+    t += sim::Duration::ns(static_cast<std::int64_t>(rng_.exponential(sep_ns)));
+    if (t > horizon) break;
+    const auto len = static_cast<std::uint32_t>(rng_.uniform_int(1, max_len_));
+    for (std::uint32_t k = 0; k < len; ++k) {
+      const sim::Duration tk = t + intra_ * k;
+      if (tk > horizon) break;
+      out.push_back(sim::TimePoint::origin() + tk);
+    }
+  }
+  // A burst's tail can overlap the next burst's start; emit sorted events.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Trace worst_case_conforming_trace(const std::vector<sim::Duration>& deltas,
+                                  std::size_t count) {
+  assert(!deltas.empty());
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < deltas.size(); ++i) assert(deltas[i] >= deltas[i - 1]);
+  assert(deltas.front().is_positive());
+#endif
+  std::vector<sim::TimePoint> times;
+  times.reserve(count);
+  sim::TimePoint t = sim::TimePoint::origin() + deltas.front();  // first activation
+  for (std::size_t n = 0; n < count; ++n) {
+    // Earliest instant satisfying every span constraint against the last
+    // min(l, n) events.
+    sim::TimePoint earliest = t;
+    for (std::size_t k = 0; k < deltas.size() && k < n; ++k) {
+      const sim::TimePoint bound = times[n - 1 - k] + deltas[k];
+      earliest = std::max(earliest, bound);
+    }
+    times.push_back(earliest);
+    t = earliest;
+  }
+  return Trace::from_activations(times);
+}
+
+Trace merge_streams(const std::vector<std::vector<sim::TimePoint>>& streams) {
+  std::vector<sim::TimePoint> all;
+  for (const auto& s : streams) all.insert(all.end(), s.begin(), s.end());
+  std::sort(all.begin(), all.end());
+  return Trace::from_activations(all);
+}
+
+}  // namespace rthv::workload

@@ -1,0 +1,76 @@
+#include "analysis/arrival_curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::analysis {
+namespace {
+
+using sim::Duration;
+
+TEST(ArrivalCurveTest, ZeroWindowHasNoEvents) {
+  ArrivalCurve eta(make_sporadic(Duration::us(10)));
+  EXPECT_EQ(eta(Duration::zero()), 0u);
+  EXPECT_EQ(eta(Duration::us(-5)), 0u);
+}
+
+TEST(ArrivalCurveTest, SporadicMatchesCeil) {
+  // eta+(dt) = ceil(dt / d) for a sporadic stream (half-open windows).
+  ArrivalCurve eta(make_sporadic(Duration::us(10)));
+  EXPECT_EQ(eta(Duration::ns(1)), 1u);
+  EXPECT_EQ(eta(Duration::us(10)), 1u);
+  EXPECT_EQ(eta(Duration::us(10) + Duration::ns(1)), 2u);
+  EXPECT_EQ(eta(Duration::us(95)), 10u);
+  EXPECT_EQ(eta(Duration::us(100)), 10u);
+  EXPECT_EQ(eta(Duration::us(101)), 11u);
+}
+
+TEST(ArrivalCurveTest, PeriodicWithJitter) {
+  // P = 10us, J = 4us: delta(2) = 6us, delta(3) = 16us.
+  ArrivalCurve eta(make_periodic(Duration::us(10), Duration::us(4)));
+  EXPECT_EQ(eta(Duration::us(6)), 1u);
+  EXPECT_EQ(eta(Duration::us(7)), 2u);
+  EXPECT_EQ(eta(Duration::us(16)), 2u);
+  EXPECT_EQ(eta(Duration::us(17)), 3u);
+}
+
+TEST(ArrivalCurveTest, LargeWindowsScaleLinearly) {
+  ArrivalCurve eta(make_sporadic(Duration::us(10)));
+  EXPECT_EQ(eta(Duration::s(1)), 100'000u);
+  EXPECT_EQ(eta(Duration::s(10)), 1'000'000u);
+}
+
+TEST(ArrivalCurveTest, ConsistentWithDeltaPseudoInverse) {
+  // For every q: eta+(delta(q)) < q <= eta+(delta(q) + 1ns) when delta is
+  // strictly increasing past q = 1.
+  auto delta = make_periodic(Duration::us(50), Duration::us(20));
+  ArrivalCurve eta(delta);
+  for (std::uint64_t q = 2; q < 50; ++q) {
+    const Duration d = (*delta)(q);
+    EXPECT_LT(eta(d), q) << "q=" << q;
+    EXPECT_GE(eta(d + Duration::ns(1)), q) << "q=" << q;
+  }
+}
+
+TEST(ArrivalCurveTest, VectorModelCurve) {
+  auto delta = std::make_shared<VectorModel>(
+      std::vector<Duration>{Duration::us(10), Duration::us(100)});
+  ArrivalCurve eta(delta);
+  // Window of 100us: delta(3) = 100 is NOT < 100, so only 2 events.
+  EXPECT_EQ(eta(Duration::us(100)), 2u);
+  EXPECT_EQ(eta(Duration::us(101)), 3u);
+  // 200us window: delta(5) = 200 -> 4 events.
+  EXPECT_EQ(eta(Duration::us(200)), 4u);
+}
+
+TEST(ArrivalCurveTest, MonotoneInWindow) {
+  ArrivalCurve eta(make_periodic(Duration::us(33), Duration::us(12)));
+  std::uint64_t prev = 0;
+  for (std::int64_t us = 0; us < 1000; us += 7) {
+    const auto v = eta(Duration::us(us));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace rthv::analysis

@@ -1,0 +1,70 @@
+#include "analysis/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::analysis {
+namespace {
+
+using sim::Duration;
+
+GatewayChain paper_chain(bool interposed, Duration d_min) {
+  GatewayChain c;
+  c.irq = IrqSourceModel{make_sporadic(d_min), Duration::us(5), Duration::us(40)};
+  c.overheads = OverheadTimes{Duration::ns(640), Duration::ns(4385), Duration::us(50)};
+  c.interposed = interposed;
+  c.tdma = TdmaModel{Duration::us(14000), Duration::us(6000), Duration::from_us_f(50.5)};
+  // Consumer partition: partition 1's geometry, one 200us handler task.
+  c.consumer.service = SlotTableModel::single_slot(
+      Duration::us(14000), Duration::us(6000), Duration::from_us_f(50.5));
+  c.consumer.tasks.push_back(GuestTaskModel{"consumer", 1, Duration::us(200),
+                                            make_sporadic(d_min)});
+  c.consumer_index = 0;
+  return c;
+}
+
+TEST(GatewayChainTest, ComposesBothStages) {
+  const auto r = gateway_chain_latency(paper_chain(true, Duration::us(1444)));
+  ASSERT_TRUE(r.has_value());
+  // Stage 1 = Eq. 16 result for the paper source.
+  EXPECT_EQ(r->irq_stage, Duration::ns(150'025));
+  EXPECT_EQ(r->irq_jitter, Duration::ns(150'025 - 45'000));
+  EXPECT_GT(r->consumer_stage, Duration::us(8000));  // consumer is TDMA-bound
+  EXPECT_EQ(r->end_to_end, r->irq_stage + r->consumer_stage);
+}
+
+TEST(GatewayChainTest, InterposedChainBeatsDelayedChain) {
+  const auto fast = gateway_chain_latency(paper_chain(true, Duration::us(1444)));
+  const auto slow = gateway_chain_latency(paper_chain(false, Duration::us(1444)));
+  ASSERT_TRUE(fast && slow);
+  EXPECT_LT(fast->end_to_end, slow->end_to_end);
+  // The gap is the IRQ-stage gap minus second-order jitter effects; it must
+  // be most of the 8ms TDMA wait.
+  EXPECT_GT(slow->end_to_end - fast->end_to_end, Duration::us(6000));
+}
+
+TEST(GatewayChainTest, JitterPropagationMatters) {
+  // The delayed chain's consumer faces a burstier activation stream (large
+  // jitter) and therefore a WCRT at least as large as the interposed
+  // chain's consumer stage.
+  const auto fast = gateway_chain_latency(paper_chain(true, Duration::us(1444)));
+  const auto slow = gateway_chain_latency(paper_chain(false, Duration::us(1444)));
+  ASSERT_TRUE(fast && slow);
+  EXPECT_GT(slow->irq_jitter, fast->irq_jitter);
+  EXPECT_GE(slow->consumer_stage, fast->consumer_stage);
+}
+
+TEST(GatewayChainTest, OverloadedConsumerDiverges) {
+  auto chain = paper_chain(true, Duration::us(1444));
+  chain.consumer.tasks[0].wcet = Duration::ms(5);  // > partition share
+  EXPECT_FALSE(gateway_chain_latency(chain).has_value());
+}
+
+TEST(GatewayChainTest, SparserIrqsShrinkConsumerStage) {
+  const auto dense = gateway_chain_latency(paper_chain(true, Duration::us(1444)));
+  const auto sparse = gateway_chain_latency(paper_chain(true, Duration::us(14440)));
+  ASSERT_TRUE(dense && sparse);
+  EXPECT_LE(sparse->consumer_stage, dense->consumer_stage);
+}
+
+}  // namespace
+}  // namespace rthv::analysis

@@ -1,0 +1,115 @@
+#include "analysis/min_distance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::analysis {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(SporadicModelTest, ZeroForFirstEvent) {
+  SporadicModel m(Duration::us(10));
+  EXPECT_EQ(m(0), Duration::zero());
+  EXPECT_EQ(m(1), Duration::zero());
+}
+
+TEST(SporadicModelTest, LinearInQ) {
+  SporadicModel m(Duration::us(10));
+  EXPECT_EQ(m(2), Duration::us(10));
+  EXPECT_EQ(m(5), Duration::us(40));
+  EXPECT_EQ(m(101), Duration::us(1000));
+}
+
+TEST(PeriodicJitterModelTest, PureperiodicIsLinear) {
+  PeriodicJitterModel m(Duration::ms(5), Duration::zero());
+  EXPECT_EQ(m(2), Duration::ms(5));
+  EXPECT_EQ(m(4), Duration::ms(15));
+}
+
+TEST(PeriodicJitterModelTest, JitterShrinksDistances) {
+  PeriodicJitterModel m(Duration::ms(5), Duration::ms(2));
+  EXPECT_EQ(m(2), Duration::ms(3));   // P - J
+  EXPECT_EQ(m(3), Duration::ms(8));   // 2P - J
+}
+
+TEST(PeriodicJitterModelTest, JitterLargerThanPeriodClampedByDmin) {
+  PeriodicJitterModel m(Duration::ms(5), Duration::ms(12), Duration::us(100));
+  EXPECT_EQ(m(2), Duration::us(100));           // (q-1)P - J < 0 -> d_min floor
+  EXPECT_EQ(m(3), Duration::us(200));           // 10 - 12 < 0.2ms floor
+  EXPECT_EQ(m(4), Duration::ms(3));             // 15 - 12 = 3ms > 0.3ms
+}
+
+TEST(PeriodicJitterModelTest, NeverNegative) {
+  PeriodicJitterModel m(Duration::ms(1), Duration::ms(10));
+  for (std::uint64_t q = 0; q < 12; ++q) {
+    EXPECT_GE(m(q), Duration::zero()) << "q=" << q;
+  }
+}
+
+TEST(VectorModelTest, DirectEntriesReturned) {
+  VectorModel m({Duration::us(10), Duration::us(50), Duration::us(60)});
+  EXPECT_EQ(m(2), Duration::us(10));
+  EXPECT_EQ(m(3), Duration::us(50));
+  EXPECT_EQ(m(4), Duration::us(60));
+}
+
+TEST(VectorModelTest, SuperadditiveExtensionBeyondVector) {
+  VectorModel m({Duration::us(10), Duration::us(50)});
+  // l = 2, delta(3) = 50 covers 2 gaps. q = 5 -> 4 gaps = 2 blocks -> 100.
+  EXPECT_EQ(m(5), Duration::us(100));
+  // q = 4 -> 3 gaps = 1 block (2 gaps, 50) + 1 gap (10) = 60.
+  EXPECT_EQ(m(4), Duration::us(60));
+  // q = 6 -> 5 gaps = 2 blocks + 1 gap = 110.
+  EXPECT_EQ(m(6), Duration::us(110));
+}
+
+TEST(VectorModelTest, ExtensionIsMonotone) {
+  VectorModel m({Duration::us(10), Duration::us(25), Duration::us(70)});
+  Duration prev = Duration::zero();
+  for (std::uint64_t q = 1; q < 40; ++q) {
+    EXPECT_GE(m(q), prev) << "q=" << q;
+    prev = m(q);
+  }
+}
+
+TEST(TraceModelTest, ExactSpansFromTrace) {
+  const std::vector<TimePoint> trace{
+      TimePoint::at_us(0), TimePoint::at_us(10), TimePoint::at_us(15),
+      TimePoint::at_us(40)};
+  TraceModel m(trace);
+  EXPECT_EQ(m(2), Duration::us(5));   // 10->15
+  EXPECT_EQ(m(3), Duration::us(15));  // 0..15
+  EXPECT_EQ(m(4), Duration::us(40));  // whole trace
+}
+
+TEST(TraceModelTest, ExtensionRepeatsWholeTraceSpan) {
+  const std::vector<TimePoint> trace{TimePoint::at_us(0), TimePoint::at_us(10),
+                                     TimePoint::at_us(30)};
+  TraceModel m(trace);
+  // Whole trace: 2 gaps, 30us. q=5 -> 4 gaps -> 2 blocks -> 60us.
+  EXPECT_EQ(m(5), Duration::us(60));
+  // q=4 -> 3 gaps -> 1 block (30) + delta(2)=10 -> 40us.
+  EXPECT_EQ(m(4), Duration::us(40));
+}
+
+TEST(TraceModelTest, MinOverSlidingWindows) {
+  // Bursty trace: the minimum 3-event span is inside the burst.
+  const std::vector<TimePoint> trace{TimePoint::at_us(0), TimePoint::at_us(100),
+                                     TimePoint::at_us(101), TimePoint::at_us(102),
+                                     TimePoint::at_us(200)};
+  TraceModel m(trace);
+  EXPECT_EQ(m(2), Duration::us(1));
+  EXPECT_EQ(m(3), Duration::us(2));    // 100..102
+  EXPECT_EQ(m(4), Duration::us(100));  // 100..200 (0..102 is 102)
+}
+
+TEST(FactoryTest, MakersReturnWorkingModels) {
+  auto s = make_sporadic(Duration::us(7));
+  EXPECT_EQ((*s)(3), Duration::us(14));
+  auto p = make_periodic(Duration::ms(2), Duration::us(500));
+  EXPECT_EQ((*p)(2), Duration::us(1500));
+}
+
+}  // namespace
+}  // namespace rthv::analysis

@@ -1,0 +1,67 @@
+#include "core/analysis_facade.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::core {
+namespace {
+
+using sim::Duration;
+
+TEST(AnalysisFacadeTest, OverheadTimesMatchPaperPlatform) {
+  const AnalysisFacade facade(SystemConfig::paper_baseline());
+  const auto oh = facade.overhead_times();
+  EXPECT_EQ(oh.c_mon, Duration::ns(640));
+  EXPECT_EQ(oh.c_sched, Duration::ns(4385));
+  EXPECT_EQ(oh.c_ctx, Duration::us(50));
+}
+
+TEST(AnalysisFacadeTest, TdmaModelUsesSubscriberSlot) {
+  const AnalysisFacade facade(SystemConfig::paper_baseline());
+  const auto tdma = facade.tdma_model(0);
+  EXPECT_EQ(tdma.cycle, Duration::us(14000));
+  EXPECT_EQ(tdma.slot, Duration::us(6000));
+}
+
+TEST(AnalysisFacadeTest, SourceModelCarriesCosts) {
+  const AnalysisFacade facade(SystemConfig::paper_baseline());
+  const auto model = facade.source_model(0, analysis::make_sporadic(Duration::us(1444)));
+  EXPECT_EQ(model.c_top, Duration::us(5));
+  EXPECT_EQ(model.c_bottom, Duration::us(40));
+  EXPECT_EQ((*model.activation)(2), Duration::us(1444));
+}
+
+TEST(AnalysisFacadeTest, CompareShowsTheHeadlineResult) {
+  // With conforming d_min arrivals the interposed WCRT is far below the
+  // TDMA-delayed WCRT (the paper's central claim).
+  const AnalysisFacade facade(SystemConfig::paper_baseline());
+  const auto cmp =
+      facade.compare(0, analysis::make_sporadic(Duration::us(1444)), true);
+  ASSERT_TRUE(cmp.tdma_delayed.has_value());
+  ASSERT_TRUE(cmp.interposed.has_value());
+  EXPECT_GE(cmp.tdma_delayed->worst_case, Duration::us(8000));
+  EXPECT_LT(cmp.interposed->worst_case, Duration::us(200));
+}
+
+TEST(AnalysisFacadeTest, InterferersSkipAnalyzedSource) {
+  auto cfg = SystemConfig::paper_baseline();
+  auto second = cfg.sources[0];
+  second.name = "other";
+  cfg.sources.push_back(second);
+  const AnalysisFacade facade(cfg);
+  const std::vector<std::shared_ptr<const analysis::MinDistanceFunction>> acts{
+      analysis::make_sporadic(Duration::us(1000)),
+      analysis::make_sporadic(Duration::us(2000))};
+  const auto others = facade.interferers(0, acts);
+  ASSERT_EQ(others.size(), 1u);
+  EXPECT_EQ((*others[0].activation)(2), Duration::us(2000));
+}
+
+TEST(AnalysisFacadeTest, OutOfRangeSourceThrows) {
+  const AnalysisFacade facade(SystemConfig::paper_baseline());
+  EXPECT_THROW((void)facade.tdma_model(3), std::invalid_argument);
+  EXPECT_THROW((void)facade.source_model(3, analysis::make_sporadic(Duration::us(1))),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rthv::core

@@ -1,0 +1,96 @@
+#include "core/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hypervisor_system.hpp"
+#include "workload/generators.hpp"
+
+namespace rthv::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(TimelineTest, TdmaGridOccupancyWithoutIrqs) {
+  HypervisorSystem system(SystemConfig::paper_baseline());
+  TimelineRecorder timeline;
+  timeline.attach(system.hypervisor());
+  system.run(Duration::us(10 * 14000));
+  timeline.finish(system.simulator().now());
+
+  // First intervals follow the grid; a context begins when its switch-in
+  // completes (boundary + tick 0.5us + ctx 50us).
+  const auto& ivs = timeline.intervals();
+  ASSERT_GE(ivs.size(), 4u);
+  EXPECT_EQ(ivs[0].partition, 0u);
+  EXPECT_EQ(ivs[0].begin, TimePoint::origin());
+  EXPECT_EQ(ivs[0].end, TimePoint::at_ns(6'050'500));
+  EXPECT_EQ(ivs[1].partition, 1u);
+  EXPECT_EQ(ivs[1].end, TimePoint::at_ns(12'050'500));
+  EXPECT_EQ(ivs[2].partition, 2u);
+  EXPECT_EQ(ivs[2].end, TimePoint::at_ns(14'050'500));
+
+  // Occupancy shares converge to the slot ratios (6/6/2 of 14).
+  const auto total = timeline.occupancy(0) + timeline.occupancy(1) + timeline.occupancy(2);
+  EXPECT_NEAR(timeline.occupancy(0).as_us() / total.as_us(), 6.0 / 14.0, 0.01);
+  EXPECT_NEAR(timeline.occupancy(1).as_us() / total.as_us(), 6.0 / 14.0, 0.01);
+  EXPECT_NEAR(timeline.occupancy(2).as_us() / total.as_us(), 2.0 / 14.0, 0.01);
+  EXPECT_EQ(timeline.interposed_occupancy(1), Duration::zero());
+}
+
+TEST(TimelineTest, InterposedOccupancyTracksForeignExecution) {
+  auto cfg = SystemConfig::paper_baseline();
+  cfg.mode = hv::TopHandlerMode::kInterposing;
+  cfg.sources[0].monitor = MonitorKind::kDeltaMin;
+  cfg.sources[0].d_min = Duration::us(1444);
+  HypervisorSystem system(cfg);
+  TimelineRecorder timeline;
+  timeline.attach(system.hypervisor());
+  workload::ExponentialTraceGenerator gen(Duration::us(1444), 3, Duration::us(1444));
+  system.attach_trace(0, gen.generate(300));
+  system.run(Duration::s(10));
+  timeline.finish(system.simulator().now());
+
+  const auto interposed = timeline.interposed_occupancy(1);
+  const auto started = system.hypervisor().irq_stats().interpose_started;
+  EXPECT_GT(started, 50u);
+  // Each interposition occupies the subscriber's context for its bottom
+  // handler (40us) plus any nested top-handler time; at least 40us each.
+  EXPECT_GE(interposed, Duration::us(40) * static_cast<std::int64_t>(started));
+  // And not wildly more: the interval also carries the switch-back context
+  // switch (50us, attributed to the context being left) plus small hv time.
+  EXPECT_LE(interposed, Duration::us(100) * static_cast<std::int64_t>(started));
+  // The victim partitions never gain interposed occupancy.
+  EXPECT_EQ(timeline.interposed_occupancy(0), Duration::zero());
+  EXPECT_EQ(timeline.interposed_occupancy(2), Duration::zero());
+}
+
+TEST(TimelineTest, CsvContainsIntervalsAndReasons) {
+  HypervisorSystem system(SystemConfig::paper_baseline());
+  TimelineRecorder timeline;
+  timeline.attach(system.hypervisor());
+  system.run(Duration::us(20000));
+  timeline.finish(system.simulator().now());
+  std::ostringstream os;
+  timeline.write_csv(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("begin_us,end_us,partition,reason"), std::string::npos);
+  EXPECT_NE(text.find("start"), std::string::npos);
+  EXPECT_NE(text.find("tdma"), std::string::npos);
+}
+
+TEST(TimelineTest, FinishClosesOpenInterval) {
+  HypervisorSystem system(SystemConfig::paper_baseline());
+  TimelineRecorder timeline;
+  timeline.attach(system.hypervisor());
+  system.run(Duration::us(1000));
+  timeline.finish(system.simulator().now());
+  for (const auto& iv : timeline.intervals()) {
+    EXPECT_NE(iv.end, TimePoint::max());
+  }
+}
+
+}  // namespace
+}  // namespace rthv::core

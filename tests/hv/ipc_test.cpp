@@ -1,0 +1,60 @@
+#include "hv/ipc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::hv {
+namespace {
+
+using sim::TimePoint;
+
+TEST(IpcRouterTest, SendReceiveRoundTrip) {
+  IpcRouter router(3);
+  EXPECT_TRUE(router.send(0, 1, 7, 99, TimePoint::at_us(5)));
+  const auto msg = router.receive(1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->sender, 0u);
+  EXPECT_EQ(msg->tag, 7u);
+  EXPECT_EQ(msg->payload, 99u);
+  EXPECT_EQ(msg->sent_at, TimePoint::at_us(5));
+}
+
+TEST(IpcRouterTest, ReceiveFromEmptyMailbox) {
+  IpcRouter router(2);
+  EXPECT_FALSE(router.receive(0).has_value());
+}
+
+TEST(IpcRouterTest, FifoPerMailbox) {
+  IpcRouter router(2);
+  router.send(0, 1, 1, 0, TimePoint::origin());
+  router.send(0, 1, 2, 0, TimePoint::origin());
+  EXPECT_EQ(router.receive(1)->tag, 1u);
+  EXPECT_EQ(router.receive(1)->tag, 2u);
+}
+
+TEST(IpcRouterTest, MailboxesAreIndependent) {
+  IpcRouter router(3);
+  router.send(0, 1, 10, 0, TimePoint::origin());
+  router.send(0, 2, 20, 0, TimePoint::origin());
+  EXPECT_EQ(router.pending(1), 1u);
+  EXPECT_EQ(router.pending(2), 1u);
+  EXPECT_EQ(router.receive(2)->tag, 20u);
+  EXPECT_EQ(router.pending(1), 1u);
+}
+
+TEST(IpcRouterTest, FullMailboxDropsAndCounts) {
+  IpcRouter router(2, /*mailbox_capacity=*/2);
+  EXPECT_TRUE(router.send(0, 1, 1, 0, TimePoint::origin()));
+  EXPECT_TRUE(router.send(0, 1, 2, 0, TimePoint::origin()));
+  EXPECT_FALSE(router.send(0, 1, 3, 0, TimePoint::origin()));
+  EXPECT_EQ(router.dropped_total(), 1u);
+  EXPECT_EQ(router.sent_total(), 2u);
+}
+
+TEST(IpcRouterTest, SelfSendAllowed) {
+  IpcRouter router(1);
+  EXPECT_TRUE(router.send(0, 0, 5, 6, TimePoint::origin()));
+  EXPECT_EQ(router.receive(0)->payload, 6u);
+}
+
+}  // namespace
+}  // namespace rthv::hv

@@ -1,0 +1,82 @@
+#include "hv/irq_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::hv {
+namespace {
+
+IrqEvent event(std::uint64_t seq) {
+  IrqEvent e;
+  e.source = 0;
+  e.seq = seq;
+  return e;
+}
+
+TEST(IrqQueueTest, StartsEmpty) {
+  IrqQueue q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(IrqQueueTest, FifoOrder) {
+  IrqQueue q(4);
+  q.push(event(1));
+  q.push(event(2));
+  q.push(event(3));
+  EXPECT_EQ(q.pop().seq, 1u);
+  EXPECT_EQ(q.front().seq, 2u);
+  EXPECT_EQ(q.pop().seq, 2u);
+  EXPECT_EQ(q.pop().seq, 3u);
+}
+
+TEST(IrqQueueTest, FullQueueDropsAndCounts) {
+  IrqQueue q(2);
+  EXPECT_TRUE(q.push(event(1)));
+  EXPECT_TRUE(q.push(event(2)));
+  EXPECT_FALSE(q.push(event(3)));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.total_pushed(), 2u);
+}
+
+TEST(IrqQueueTest, PopMakesRoom) {
+  IrqQueue q(1);
+  q.push(event(1));
+  q.pop();
+  EXPECT_TRUE(q.push(event(2)));
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(IrqQueueTest, HighWatermarkTracksPeak) {
+  IrqQueue q(8);
+  q.push(event(1));
+  q.push(event(2));
+  q.push(event(3));
+  q.pop();
+  q.pop();
+  q.push(event(4));
+  EXPECT_EQ(q.high_watermark(), 3u);
+}
+
+TEST(IrqQueueTest, EventPayloadPreserved) {
+  IrqQueue q(2);
+  IrqEvent e;
+  e.source = 7;
+  e.seq = 42;
+  e.raise_time = sim::TimePoint::at_us(100);
+  e.th_start = sim::TimePoint::at_us(101);
+  e.arrived_in_own_slot = true;
+  e.admitted_interpose = true;
+  q.push(e);
+  const IrqEvent out = q.pop();
+  EXPECT_EQ(out.source, 7u);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.raise_time, sim::TimePoint::at_us(100));
+  EXPECT_EQ(out.th_start, sim::TimePoint::at_us(101));
+  EXPECT_TRUE(out.arrived_in_own_slot);
+  EXPECT_TRUE(out.admitted_interpose);
+}
+
+}  // namespace
+}  // namespace rthv::hv

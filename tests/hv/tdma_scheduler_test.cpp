@@ -1,0 +1,72 @@
+#include "hv/tdma_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::hv {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+std::vector<TdmaSlot> paper_slots() {
+  return {{0, Duration::us(6000)}, {1, Duration::us(6000)}, {2, Duration::us(2000)}};
+}
+
+TEST(TdmaSchedulerTest, CycleLengthIsSlotSum) {
+  TdmaScheduler s(paper_slots());
+  EXPECT_EQ(s.cycle_length(), Duration::us(14000));
+}
+
+TEST(TdmaSchedulerTest, InitialSlotIsFirst) {
+  TdmaScheduler s(paper_slots());
+  EXPECT_EQ(s.current_owner(), 0u);
+  EXPECT_EQ(s.current_index(), 0u);
+  EXPECT_EQ(s.current_boundary(), TimePoint::at_us(6000));
+}
+
+TEST(TdmaSchedulerTest, AdvanceWalksTheGrid) {
+  TdmaScheduler s(paper_slots());
+  EXPECT_EQ(s.advance(), 1u);
+  EXPECT_EQ(s.current_boundary(), TimePoint::at_us(12000));
+  EXPECT_EQ(s.advance(), 2u);
+  EXPECT_EQ(s.current_boundary(), TimePoint::at_us(14000));
+  EXPECT_EQ(s.advance(), 0u);
+  EXPECT_EQ(s.current_boundary(), TimePoint::at_us(20000));
+}
+
+TEST(TdmaSchedulerTest, GridStaysFixedOverManyCycles) {
+  TdmaScheduler s(paper_slots());
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 3; ++i) s.advance();
+  }
+  EXPECT_EQ(s.cycles_completed(), 100u);
+  // After 100 full cycles we are back at slot 0 ending at 100*14000 + 6000.
+  EXPECT_EQ(s.current_owner(), 0u);
+  EXPECT_EQ(s.current_boundary(), TimePoint::at_us(100 * 14000 + 6000));
+}
+
+TEST(TdmaSchedulerTest, SlotLengthLookup) {
+  TdmaScheduler s(paper_slots());
+  EXPECT_EQ(s.slot_length_of(1), Duration::us(6000));
+  EXPECT_EQ(s.slot_length_of(2), Duration::us(2000));
+  EXPECT_EQ(s.slot_length_of(99), Duration::zero());
+}
+
+TEST(TdmaSchedulerTest, SinglePartitionCycles) {
+  TdmaScheduler s({{0, Duration::us(500)}});
+  EXPECT_EQ(s.advance(), 0u);
+  EXPECT_EQ(s.cycles_completed(), 1u);
+  EXPECT_EQ(s.current_boundary(), TimePoint::at_us(1000));
+}
+
+TEST(TdmaSchedulerTest, PartitionMayOwnMultipleSlots) {
+  TdmaScheduler s({{0, Duration::us(100)}, {1, Duration::us(50)}, {0, Duration::us(100)}});
+  EXPECT_EQ(s.cycle_length(), Duration::us(250));
+  EXPECT_EQ(s.advance(), 1u);
+  EXPECT_EQ(s.advance(), 0u);
+  // slot_length_of returns the first slot of the partition.
+  EXPECT_EQ(s.slot_length_of(0), Duration::us(100));
+}
+
+}  // namespace
+}  // namespace rthv::hv

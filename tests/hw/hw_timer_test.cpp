@@ -1,0 +1,123 @@
+#include "hw/hw_timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::hw {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+class HwTimerTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  InterruptController intc_{4};
+  HwTimer timer_{sim_, intc_, 1};
+};
+
+TEST_F(HwTimerTest, FiresAtProgrammedDelayAndRaisesLine) {
+  intc_.set_cpu_irq_enabled(false);
+  timer_.program(Duration::us(10));
+  EXPECT_TRUE(timer_.armed());
+  sim_.run();
+  EXPECT_EQ(sim_.now(), TimePoint::at_us(10));
+  EXPECT_TRUE(intc_.pending(1));
+  EXPECT_FALSE(timer_.armed());
+  EXPECT_EQ(timer_.fires(), 1u);
+}
+
+TEST_F(HwTimerTest, ProgramAtAbsoluteDeadline) {
+  intc_.set_cpu_irq_enabled(false);
+  timer_.program_at(TimePoint::at_us(25));
+  EXPECT_EQ(timer_.deadline(), TimePoint::at_us(25));
+  sim_.run();
+  EXPECT_EQ(sim_.now(), TimePoint::at_us(25));
+}
+
+TEST_F(HwTimerTest, ReprogramReplacesDeadline) {
+  intc_.set_cpu_irq_enabled(false);
+  timer_.program(Duration::us(10));
+  timer_.program(Duration::us(30));
+  sim_.run();
+  EXPECT_EQ(sim_.now(), TimePoint::at_us(30));
+  EXPECT_EQ(timer_.fires(), 1u);  // only the second programming fired
+}
+
+TEST_F(HwTimerTest, CancelDisarms) {
+  intc_.set_cpu_irq_enabled(false);
+  timer_.program(Duration::us(10));
+  timer_.cancel();
+  EXPECT_FALSE(timer_.armed());
+  sim_.run();
+  EXPECT_FALSE(intc_.pending(1));
+  EXPECT_EQ(timer_.fires(), 0u);
+}
+
+TEST_F(HwTimerTest, ExpiryHookRunsBeforeRaiseAndCanReprogram) {
+  intc_.set_cpu_irq_enabled(false);
+  int hook_runs = 0;
+  timer_.set_on_expiry([&] {
+    ++hook_runs;
+    if (hook_runs < 3) timer_.program(Duration::us(5));
+  });
+  timer_.program(Duration::us(5));
+  sim_.run();
+  EXPECT_EQ(hook_runs, 3);
+  EXPECT_EQ(timer_.fires(), 3u);
+  EXPECT_EQ(sim_.now(), TimePoint::at_us(15));
+}
+
+TEST_F(HwTimerTest, SelfReprogrammingKeepsExactDistances) {
+  intc_.set_cpu_irq_enabled(false);
+  std::vector<TimePoint> fire_times;
+  timer_.set_on_expiry([&] {
+    fire_times.push_back(sim_.now());
+    if (fire_times.size() < 4) timer_.program(Duration::us(7));
+  });
+  timer_.program(Duration::us(7));
+  sim_.run();
+  ASSERT_EQ(fire_times.size(), 4u);
+  for (std::size_t i = 1; i < fire_times.size(); ++i) {
+    EXPECT_EQ(fire_times[i] - fire_times[i - 1], Duration::us(7));
+  }
+}
+
+TEST_F(HwTimerTest, PeriodicModeAutoReloads) {
+  intc_.set_cpu_irq_enabled(false);
+  timer_.program_periodic(Duration::us(100));
+  sim_.run_until(TimePoint::at_us(350));
+  EXPECT_EQ(timer_.fires(), 3u);  // 100, 200, 300
+  EXPECT_TRUE(timer_.armed());
+  EXPECT_EQ(timer_.deadline(), TimePoint::at_us(400));
+}
+
+TEST_F(HwTimerTest, PeriodicModeStopsOnCancel) {
+  intc_.set_cpu_irq_enabled(false);
+  timer_.program_periodic(Duration::us(100));
+  sim_.schedule_at(TimePoint::at_us(250), [this] { timer_.cancel(); });
+  sim_.run();
+  EXPECT_EQ(timer_.fires(), 2u);
+  EXPECT_FALSE(timer_.armed());
+}
+
+TEST_F(HwTimerTest, OneShotProgramClearsPeriodicMode) {
+  intc_.set_cpu_irq_enabled(false);
+  timer_.program_periodic(Duration::us(100));
+  sim_.run_until(TimePoint::at_us(150));
+  timer_.program(Duration::us(30));  // switch to one-shot
+  sim_.run();
+  EXPECT_EQ(timer_.fires(), 2u);  // 100 (periodic) + 180 (one-shot)
+  EXPECT_FALSE(timer_.armed());
+}
+
+TEST(TimestampTimerTest, ReadsSimulatorClock) {
+  sim::Simulator sim;
+  TimestampTimer ts(sim);
+  EXPECT_EQ(ts.now(), TimePoint::origin());
+  sim.schedule_at(TimePoint::at_us(9), [] {});
+  sim.run();
+  EXPECT_EQ(ts.now(), TimePoint::at_us(9));
+}
+
+}  // namespace
+}  // namespace rthv::hw

@@ -1,0 +1,130 @@
+#include "hw/interrupt_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rthv::hw {
+namespace {
+
+TEST(InterruptControllerTest, RaiseSetsPending) {
+  InterruptController intc(4);
+  intc.set_cpu_irq_enabled(false);
+  EXPECT_TRUE(intc.raise(2));
+  EXPECT_TRUE(intc.pending(2));
+  EXPECT_FALSE(intc.pending(1));
+}
+
+TEST(InterruptControllerTest, NonCountingLatchLosesSecondRaise) {
+  InterruptController intc(4);
+  intc.set_cpu_irq_enabled(false);
+  EXPECT_TRUE(intc.raise(1));
+  EXPECT_FALSE(intc.raise(1));  // still pending: the raise is lost
+  EXPECT_EQ(intc.lost_raises(), 1u);
+  EXPECT_EQ(intc.lost_raises(1), 1u);
+  EXPECT_EQ(intc.lost_raises(0), 0u);
+  EXPECT_EQ(intc.raises(), 2u);
+}
+
+TEST(InterruptControllerTest, AcknowledgeClearsPending) {
+  InterruptController intc(4);
+  intc.set_cpu_irq_enabled(false);
+  intc.raise(3);
+  intc.acknowledge(3);
+  EXPECT_FALSE(intc.pending(3));
+  EXPECT_TRUE(intc.raise(3));  // can latch again
+}
+
+TEST(InterruptControllerTest, HighestPendingIsLowestLineNumber) {
+  InterruptController intc(8);
+  intc.set_cpu_irq_enabled(false);
+  intc.raise(5);
+  intc.raise(2);
+  intc.raise(7);
+  ASSERT_TRUE(intc.highest_pending().has_value());
+  EXPECT_EQ(*intc.highest_pending(), 2u);
+}
+
+TEST(InterruptControllerTest, DisabledLineInvisibleToHighestPending) {
+  InterruptController intc(4);
+  intc.set_cpu_irq_enabled(false);
+  intc.enable_line(1, false);
+  intc.raise(1);
+  EXPECT_FALSE(intc.highest_pending().has_value());
+  intc.enable_line(1, true);
+  EXPECT_EQ(*intc.highest_pending(), 1u);
+}
+
+TEST(InterruptControllerTest, DeliveryOnRaiseWhenEnabled) {
+  InterruptController intc(4);
+  int entries = 0;
+  intc.set_irq_entry([&] {
+    ++entries;
+    intc.set_cpu_irq_enabled(false);
+    intc.acknowledge(*intc.highest_pending());
+  });
+  intc.raise(2);
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(InterruptControllerTest, NoDeliveryWhileCpuIrqDisabled) {
+  InterruptController intc(4);
+  int entries = 0;
+  intc.set_irq_entry([&] {
+    ++entries;
+    intc.set_cpu_irq_enabled(false);
+    intc.acknowledge(*intc.highest_pending());
+  });
+  intc.set_cpu_irq_enabled(false);
+  intc.raise(2);
+  EXPECT_EQ(entries, 0);
+  intc.set_cpu_irq_enabled(true);  // latched IRQ delivered on enable
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(InterruptControllerTest, PendingRetainedWhileLineDisabled) {
+  InterruptController intc(4);
+  int entries = 0;
+  intc.set_irq_entry([&] {
+    ++entries;
+    intc.set_cpu_irq_enabled(false);
+    intc.acknowledge(*intc.highest_pending());
+  });
+  intc.enable_line(2, false);
+  intc.raise(2);
+  EXPECT_EQ(entries, 0);
+  EXPECT_TRUE(intc.pending(2));
+  intc.enable_line(2, true);
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(InterruptControllerTest, RaiseObserverSeesNewLatches) {
+  InterruptController intc(4);
+  intc.set_cpu_irq_enabled(false);
+  std::vector<IrqLine> observed;
+  intc.set_raise_observer([&](IrqLine l) { observed.push_back(l); });
+  intc.raise(1);
+  intc.raise(1);  // lost -- observer not called
+  intc.raise(3);
+  EXPECT_EQ(observed, (std::vector<IrqLine>{1, 3}));
+}
+
+TEST(InterruptControllerTest, SequentialServiceOfMultiplePending) {
+  InterruptController intc(4);
+  std::vector<IrqLine> serviced;
+  intc.set_irq_entry([&] {
+    intc.set_cpu_irq_enabled(false);
+    const auto line = *intc.highest_pending();
+    serviced.push_back(line);
+    intc.acknowledge(line);
+    intc.set_cpu_irq_enabled(true);  // service chain continues
+  });
+  intc.set_cpu_irq_enabled(false);
+  intc.raise(3);
+  intc.raise(1);
+  intc.set_cpu_irq_enabled(true);
+  EXPECT_EQ(serviced, (std::vector<IrqLine>{1, 3}));
+}
+
+}  // namespace
+}  // namespace rthv::hw

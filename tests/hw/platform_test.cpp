@@ -1,0 +1,67 @@
+#include "hw/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::hw {
+namespace {
+
+TEST(MemorySystemTest, DefaultsMatchPaper) {
+  MemorySystem mem;
+  const auto cost = mem.context_switch_cost();
+  EXPECT_EQ(cost.invalidate_instructions, 5000u);
+  EXPECT_EQ(cost.writeback_cycles, 5000u);
+}
+
+TEST(MemorySystemTest, Configurable) {
+  MemorySystem mem(100, 200);
+  EXPECT_EQ(mem.context_switch_cost().invalidate_instructions, 100u);
+  EXPECT_EQ(mem.context_switch_cost().writeback_cycles, 200u);
+  mem.set_invalidate_instructions(7);
+  mem.set_writeback_cycles(8);
+  EXPECT_EQ(mem.context_switch_cost().invalidate_instructions, 7u);
+  EXPECT_EQ(mem.context_switch_cost().writeback_cycles, 8u);
+}
+
+TEST(PlatformTest, DefaultConfigIsPaperPlatform) {
+  sim::Simulator s;
+  Platform p(s);
+  EXPECT_EQ(p.cpu().frequency_hz(), 200'000'000u);
+  EXPECT_EQ(p.intc().num_lines(), 32u);
+  EXPECT_EQ(p.memory().context_switch_cost().invalidate_instructions, 5000u);
+}
+
+TEST(PlatformTest, AddTimerBindsLineAndSimulator) {
+  sim::Simulator s;
+  Platform p(s);
+  p.intc().set_cpu_irq_enabled(false);
+  auto& t = p.add_timer(5);
+  EXPECT_EQ(p.num_timers(), 1u);
+  EXPECT_EQ(t.line(), 5u);
+  t.program(sim::Duration::us(3));
+  s.run();
+  EXPECT_TRUE(p.intc().pending(5));
+  EXPECT_EQ(&p.timer(0), &t);
+}
+
+TEST(PlatformTest, TimestampTimerSharesClock) {
+  sim::Simulator s;
+  Platform p(s);
+  s.schedule_at(sim::TimePoint::at_us(4), [] {});
+  s.run();
+  EXPECT_EQ(p.timestamp_timer().now(), sim::TimePoint::at_us(4));
+}
+
+TEST(PlatformTest, CustomConfig) {
+  sim::Simulator s;
+  PlatformConfig cfg;
+  cfg.cpu_freq_hz = 1'000'000'000;
+  cfg.num_irq_lines = 8;
+  cfg.ctx_writeback_cycles = 123;
+  Platform p(s, cfg);
+  EXPECT_EQ(p.cpu().frequency_hz(), 1'000'000'000u);
+  EXPECT_EQ(p.intc().num_lines(), 8u);
+  EXPECT_EQ(p.memory().context_switch_cost().writeback_cycles, 123u);
+}
+
+}  // namespace
+}  // namespace rthv::hw

@@ -1,0 +1,155 @@
+// Sufficient temporal independence (Section 4, Eqs. 1-2): with monitoring,
+// the interference any partition suffers from another partition's IRQ
+// processing is bounded by Eq. 14 regardless of that partition's behaviour;
+// with strict TDMA (original top handler) bottom handlers impose no
+// interference at all -- only top handlers do.
+#include <gtest/gtest.h>
+
+#include "core/hypervisor_system.hpp"
+#include "workload/generators.hpp"
+
+namespace rthv::core {
+namespace {
+
+using sim::Duration;
+
+SystemConfig victim_config(hv::TopHandlerMode mode, MonitorKind monitor,
+                           Duration d_min) {
+  auto cfg = SystemConfig::paper_baseline();
+  // Partition 0 is the victim: it runs background load; partition 1
+  // subscribes the IRQ source.
+  cfg.mode = mode;
+  cfg.sources[0].monitor = monitor;
+  cfg.sources[0].d_min = d_min;
+  return cfg;
+}
+
+Duration victim_guest_time(const SystemConfig& cfg, std::size_t irqs,
+                           Duration mean_gap, std::uint64_t seed) {
+  HypervisorSystem system(cfg);
+  workload::ExponentialTraceGenerator gen(mean_gap, seed);
+  system.attach_trace(0, gen.generate(irqs));
+  // Fixed observation window so guest-time totals are comparable.
+  system.run(Duration::ms(500));
+  const auto now = system.simulator().now();
+  if (now < sim::TimePoint::origin() + Duration::ms(500)) {
+    system.simulator().run_until(sim::TimePoint::origin() + Duration::ms(500));
+  }
+  return system.hypervisor().partition(0).guest_time();
+}
+
+TEST(IndependenceTest, StrictTdmaVictimLosesOnlyTopHandlerTime) {
+  const auto cfg = victim_config(hv::TopHandlerMode::kOriginal, MonitorKind::kNone,
+                                 Duration::zero());
+  // No IRQs at all vs. a heavy IRQ load for partition 1.
+  const auto idle = victim_guest_time(cfg, 0, Duration::us(1000), 1);
+  const auto loaded = victim_guest_time(cfg, 450, Duration::us(1000), 1);
+  // The victim only pays top-handler time for IRQs landing in its slots:
+  // <= 450 x 5us = 2.25ms worst case (actually ~3/7 of that).
+  EXPECT_LE(idle - loaded, Duration::us(450 * 5 + 200));
+  EXPECT_GE(loaded, idle - Duration::us(450 * 5 + 200));
+}
+
+TEST(IndependenceTest, MonitoredInterferenceWithinEq14Bound) {
+  const Duration d_min = Duration::us(1000);
+  const auto cfg = victim_config(hv::TopHandlerMode::kInterposing,
+                                 MonitorKind::kDeltaMin, d_min);
+  const auto idle = victim_guest_time(cfg, 0, Duration::us(500), 2);
+  // Aggressive arrivals: mean 500us violates d_min half the time.
+  const auto loaded = victim_guest_time(cfg, 900, Duration::us(500), 2);
+
+  // Eq. 14 over the victim's observed share: the victim owns 6/14 of the
+  // 500ms window; interpositions can only steal from its slots while they
+  // are active. Bound: ceil(window/d_min) * C'_BH over the victim's slots
+  // plus top-handler time (with C_Mon) for every IRQ.
+  const Duration window = Duration::ms(500);
+  const Duration c_bh_eff = Duration::ns(144'385);
+  const std::int64_t victim_share_admissions =
+      sim::Duration::ceil_div(window, d_min) * 6 / 14 + 1;
+  const Duration interpose_bound = c_bh_eff * victim_share_admissions;
+  const Duration top_bound = Duration::ns(5'640) * 900;
+  EXPECT_LE(idle - loaded, interpose_bound + top_bound);
+  // And the interference is not trivially zero: interposing did happen.
+  EXPECT_GT(idle - loaded, Duration::zero());
+}
+
+TEST(IndependenceTest, InterferenceIndependentOfVictimBehaviour) {
+  // Eq. 14's bound must hold whether the victim is busy or idle; compare a
+  // busy victim against a no-background-load victim: the number of
+  // interpositions the attacker achieves stays (almost) the same, i.e. the
+  // monitor -- not the victim's behaviour -- controls the interference.
+  auto busy_cfg = victim_config(hv::TopHandlerMode::kInterposing,
+                                MonitorKind::kDeltaMin, Duration::us(1000));
+  auto idle_cfg = busy_cfg;
+  idle_cfg.partitions[0].background_load = false;
+
+  std::uint64_t interposes[2];
+  int i = 0;
+  for (const auto* cfg : {&busy_cfg, &idle_cfg}) {
+    HypervisorSystem system(*cfg);
+    workload::ExponentialTraceGenerator gen(Duration::us(800), 3);
+    system.attach_trace(0, gen.generate(500));
+    system.run(Duration::s(10));
+    interposes[i++] = system.hypervisor().irq_stats().interpose_started;
+  }
+  EXPECT_GT(interposes[0], 25u);
+  // Identical trace, identical monitor state evolution -> identical counts.
+  EXPECT_EQ(interposes[0], interposes[1]);
+}
+
+TEST(IndependenceTest, TdmaServiceIsExactWithoutIrqs) {
+  // Complete temporal isolation baseline: with no IRQs, each partition's
+  // guest time equals its slot share minus the fixed switch-in overhead.
+  auto cfg = SystemConfig::paper_baseline();
+  HypervisorSystem system(cfg);
+  system.run(Duration::us(14000 * 10));
+  // Partition 0: first slot has no switch-in cost (starts at t=0); the
+  // other 9 lose tick (0.5us) + ctx (50us) each.
+  const auto p0 = system.hypervisor().partition(0).guest_time();
+  const Duration expected =
+      Duration::us(6000) + Duration::ns(9 * (6000'000 - 50'500));
+  EXPECT_EQ(p0, expected);
+}
+
+TEST(IndependenceTest, AdversarialTraceApproachesEq14Bound) {
+  // Drive the monitored system with the maximally dense conforming trace:
+  // the interference measured on the victim approaches (but never exceeds)
+  // Eq. 14's bound, demonstrating the bound is tight, not just safe.
+  const Duration d_min = Duration::us(1444);
+  auto cfg = victim_config(hv::TopHandlerMode::kInterposing, MonitorKind::kDeltaMin,
+                           d_min);
+  HypervisorSystem system(cfg);
+  system.attach_trace(0, workload::worst_case_conforming_trace({d_min}, 900));
+  system.run(Duration::ms(500));
+  if (system.simulator().now() < sim::TimePoint::origin() + Duration::ms(500)) {
+    system.simulator().run_until(sim::TimePoint::origin() + Duration::ms(500));
+  }
+
+  // Every foreign-slot arrival was admitted (conforming by construction).
+  const auto& irq = system.hypervisor().irq_stats();
+  EXPECT_EQ(irq.denied_by_monitor, 0u);
+  EXPECT_GT(irq.interpose_started, 100u);
+
+  // Victim (partition 0) loss vs. the no-IRQ baseline.
+  HypervisorSystem idle_system(cfg);
+  idle_system.run(Duration::ms(500));
+  idle_system.simulator().run_until(sim::TimePoint::origin() + Duration::ms(500));
+  const Duration idle = idle_system.hypervisor().partition(0).guest_time();
+  const Duration loaded = system.hypervisor().partition(0).guest_time();
+  const Duration loss = idle - loaded;
+
+  // Upper bound (Eq. 14 over the victim's slots + top handlers everywhere).
+  const Duration c_bh_eff = Duration::ns(144'385);
+  const std::int64_t admissions_cap =
+      sim::Duration::ceil_div(Duration::ms(500), d_min) + 1;
+  const Duration upper = c_bh_eff * admissions_cap + Duration::ns(5'640) * 900;
+  EXPECT_LE(loss, upper);
+  // Tightness: the victim owns 6/14 of the timeline, so roughly that share
+  // of interpositions hits it; the measured loss should reach at least a
+  // third of the per-slot-share bound.
+  const Duration share_bound = c_bh_eff * (admissions_cap * 6 / 14);
+  EXPECT_GE(loss * 3, share_bound);
+}
+
+}  // namespace
+}  // namespace rthv::core

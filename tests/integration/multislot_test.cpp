@@ -1,0 +1,110 @@
+// Multi-slot (split-slot) schedules end to end: the explicit-schedule
+// feature of SystemConfig against the exact SlotTableModel analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/busy_window.hpp"
+#include "analysis/slot_table.hpp"
+#include "core/hypervisor_system.hpp"
+#include "core/timeline.hpp"
+#include "workload/generators.hpp"
+
+namespace rthv::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+SystemConfig split_config(std::uint32_t parts) {
+  auto cfg = SystemConfig::paper_baseline();
+  cfg.schedule.clear();
+  for (std::uint32_t k = 0; k < parts; ++k) {
+    for (std::uint32_t p = 0; p < cfg.partitions.size(); ++p) {
+      cfg.schedule.push_back(ScheduleSlot{
+          p, Duration::ns(cfg.partitions[p].slot_length.count_ns() / parts)});
+    }
+  }
+  return cfg;
+}
+
+TEST(MultiSlotTest, ScheduleWalksAllSlots) {
+  HypervisorSystem system(split_config(2));
+  TimelineRecorder timeline;
+  timeline.attach(system.hypervisor());
+  system.run(Duration::us(14000));
+  timeline.finish(system.simulator().now());
+  // One cycle: 6 slots -> 6 intervals (plus the initial one is the first
+  // slot itself).
+  const auto& ivs = timeline.intervals();
+  ASSERT_GE(ivs.size(), 6u);
+  // Slot owners repeat 0,1,2,0,1,2.
+  EXPECT_EQ(ivs[0].partition, 0u);
+  EXPECT_EQ(ivs[1].partition, 1u);
+  EXPECT_EQ(ivs[2].partition, 2u);
+  EXPECT_EQ(ivs[3].partition, 0u);
+  EXPECT_EQ(ivs[4].partition, 1u);
+  EXPECT_EQ(ivs[5].partition, 2u);
+  // Grid: second p0 slot begins after 7000us boundary + 50.5us switch-in.
+  EXPECT_EQ(ivs[3].begin, TimePoint::at_ns(7'050'500));
+}
+
+TEST(MultiSlotTest, OccupancySharesPreserved) {
+  HypervisorSystem system(split_config(4));
+  TimelineRecorder timeline;
+  timeline.attach(system.hypervisor());
+  system.run(Duration::us(14000 * 20));
+  timeline.finish(system.simulator().now());
+  const auto total =
+      timeline.occupancy(0) + timeline.occupancy(1) + timeline.occupancy(2);
+  EXPECT_NEAR(timeline.occupancy(1).as_us() / total.as_us(), 6.0 / 14.0, 0.01);
+  EXPECT_NEAR(timeline.occupancy(2).as_us() / total.as_us(), 2.0 / 14.0, 0.01);
+}
+
+class SplitFactorTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SplitFactorTest, DelayedLatencyWithinExactSlotTableBound) {
+  const std::uint32_t parts = GetParam();
+  auto cfg = split_config(parts);
+  const Duration d_min = Duration::us(4000);
+
+  // Exact analysis bound for the subscriber (partition 1).
+  std::vector<analysis::SlotTableModel::Slot> slots;
+  for (const auto& s : cfg.schedule) slots.push_back({s.partition == 1, s.length});
+  const analysis::SlotTableModel table(slots, Duration::from_us_f(50.5));
+  analysis::BusyWindowProblem problem;
+  problem.per_event_cost = cfg.sources[0].c_bottom;
+  problem.interference.push_back(analysis::load_interference(
+      analysis::ArrivalCurve(analysis::make_sporadic(d_min)), cfg.sources[0].c_top));
+  problem.interference.push_back(
+      [&table](Duration w) { return table.interference(w); });
+  const auto bound = analysis::response_time(problem, *analysis::make_sporadic(d_min));
+  ASSERT_TRUE(bound.has_value());
+
+  HypervisorSystem system(cfg);
+  workload::ExponentialTraceGenerator gen(d_min, 42 + parts, d_min);
+  system.attach_trace(0, gen.generate(800));
+  system.run(Duration::s(60));
+  ASSERT_GT(system.recorder().total(), 0u);
+  EXPECT_LE(system.recorder().all().max(), bound->worst_case + Duration::us(10));
+  // The bound shrinks with the split factor (the point of splitting).
+  if (parts > 1) {
+    EXPECT_LT(bound->worst_case, Duration::us(8000));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, SplitFactorTest, ::testing::Values(1u, 2u, 4u));
+
+TEST(MultiSlotTest, InterposingStillWorksWithSplitSchedule) {
+  auto cfg = split_config(2);
+  cfg.mode = hv::TopHandlerMode::kInterposing;
+  cfg.sources[0].monitor = MonitorKind::kDeltaMin;
+  cfg.sources[0].d_min = Duration::us(1444);
+  HypervisorSystem system(cfg);
+  workload::ExponentialTraceGenerator gen(Duration::us(1444), 9, Duration::us(1444));
+  system.attach_trace(0, gen.generate(400));
+  system.run(Duration::s(10));
+  EXPECT_GT(system.recorder().fraction(stats::HandlingClass::kInterposed), 0.3);
+  EXPECT_LT(system.recorder().all().mean(), Duration::us(200));
+}
+
+}  // namespace
+}  // namespace rthv::core

@@ -1,0 +1,112 @@
+#include "mon/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::mon {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_us(std::int64_t t) { return TimePoint::at_us(t); }
+
+TEST(DeltaMinMonitorTest, FirstActivationAlwaysAdmitted) {
+  DeltaMinMonitor m(Duration::us(100));
+  EXPECT_TRUE(m.record_and_check(at_us(5)));
+  EXPECT_EQ(m.admitted(), 1u);
+}
+
+TEST(DeltaMinMonitorTest, AdmitsAtExactlyDmin) {
+  DeltaMinMonitor m(Duration::us(100));
+  m.record_and_check(at_us(0));
+  EXPECT_TRUE(m.record_and_check(at_us(100)));
+}
+
+TEST(DeltaMinMonitorTest, DeniesBelowDmin) {
+  DeltaMinMonitor m(Duration::us(100));
+  m.record_and_check(at_us(0));
+  EXPECT_FALSE(m.record_and_check(at_us(99)));
+  EXPECT_EQ(m.denied(), 1u);
+}
+
+TEST(DeltaMinMonitorTest, DeniedActivationStillRecorded) {
+  DeltaMinMonitor m(Duration::us(100));
+  m.record_and_check(at_us(0));
+  EXPECT_FALSE(m.record_and_check(at_us(50)));   // violation, recorded
+  EXPECT_FALSE(m.record_and_check(at_us(120)));  // only 70us after the burst event
+  EXPECT_TRUE(m.record_and_check(at_us(220)));
+}
+
+TEST(DeltaMinMonitorTest, CountersTrackDecisions) {
+  DeltaMinMonitor m(Duration::us(10));
+  m.record_and_check(at_us(0));
+  m.record_and_check(at_us(5));
+  m.record_and_check(at_us(20));
+  EXPECT_EQ(m.admitted(), 2u);
+  EXPECT_EQ(m.denied(), 1u);
+  EXPECT_EQ(m.observed(), 3u);
+}
+
+TEST(DeltaVectorMonitorTest, SingleEntryBehavesLikeDeltaMin) {
+  DeltaVectorMonitor v(DeltaVector{Duration::us(100)});
+  DeltaMinMonitor m(Duration::us(100));
+  const std::int64_t times[] = {0, 40, 150, 249, 250, 600};
+  for (const auto t : times) {
+    EXPECT_EQ(v.record_and_check(at_us(t)), m.record_and_check(at_us(t))) << "t=" << t;
+  }
+}
+
+TEST(DeltaVectorMonitorTest, DeeperEntryDeniesCloseTriple) {
+  // Two consecutive events may be 10us apart, but any three must span 100us.
+  DeltaVectorMonitor m(DeltaVector{Duration::us(10), Duration::us(100)});
+  EXPECT_TRUE(m.record_and_check(at_us(0)));
+  EXPECT_TRUE(m.record_and_check(at_us(10)));
+  // 20us after the first event: pairwise OK (10us), triple span 20 < 100.
+  EXPECT_FALSE(m.record_and_check(at_us(20)));
+  // 100us after event 0 and >=10us after the last: conforming.
+  EXPECT_TRUE(m.record_and_check(at_us(110)));
+}
+
+TEST(DeltaVectorMonitorTest, PeekDoesNotRecord) {
+  DeltaVectorMonitor m(DeltaVector{Duration::us(10)});
+  m.record_and_check(at_us(0));
+  EXPECT_FALSE(m.peek(at_us(5)));
+  EXPECT_TRUE(m.peek(at_us(15)));
+  // peek must not have pushed anything: distance still measured from t=0.
+  EXPECT_TRUE(m.record_and_check(at_us(10)));
+}
+
+TEST(DeltaVectorMonitorTest, TracebufferWindowSlides) {
+  DeltaVectorMonitor m(DeltaVector{Duration::us(10), Duration::us(30)});
+  EXPECT_TRUE(m.record_and_check(at_us(0)));
+  EXPECT_TRUE(m.record_and_check(at_us(30)));
+  EXPECT_TRUE(m.record_and_check(at_us(60)));
+  // 70us: 10 after 60 (ok), 40 after 30 (ok, needs 30).
+  EXPECT_TRUE(m.record_and_check(at_us(70)));
+  // 79us: 9 after 70 -> deny.
+  EXPECT_FALSE(m.record_and_check(at_us(79)));
+}
+
+TEST(AlwaysAdmitMonitorTest, AdmitsEverything) {
+  AlwaysAdmitMonitor m;
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(m.record_and_check(at_us(i)));
+  EXPECT_EQ(m.admitted(), 5u);
+  EXPECT_EQ(m.denied(), 0u);
+}
+
+TEST(ScaleForLoadFractionTest, QuarterLoadQuadruplesDistances) {
+  const DeltaVector in{Duration::us(100), Duration::us(250)};
+  const auto out = scale_for_load_fraction(in, 0.25);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Duration::us(400));
+  EXPECT_EQ(out[1], Duration::us(1000));
+}
+
+TEST(ScaleForLoadFractionTest, FullLoadIsIdentity) {
+  const DeltaVector in{Duration::us(123)};
+  const auto out = scale_for_load_fraction(in, 1.0);
+  EXPECT_EQ(out[0], Duration::us(123));
+}
+
+}  // namespace
+}  // namespace rthv::mon

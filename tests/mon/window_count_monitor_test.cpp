@@ -1,0 +1,102 @@
+#include "mon/window_count_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace rthv::mon {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TimePoint at_us(std::int64_t t) { return TimePoint::at_us(t); }
+
+TEST(WindowCountMonitorTest, AdmitsBurstUpToMax) {
+  WindowCountMonitor m(Duration::us(1000), 3);
+  EXPECT_TRUE(m.record_and_check(at_us(0)));
+  EXPECT_TRUE(m.record_and_check(at_us(1)));
+  EXPECT_TRUE(m.record_and_check(at_us(2)));
+  EXPECT_FALSE(m.record_and_check(at_us(3)));
+  EXPECT_EQ(m.in_window(at_us(3)), 3u);
+}
+
+TEST(WindowCountMonitorTest, WindowSlidesOpen) {
+  WindowCountMonitor m(Duration::us(1000), 2);
+  m.record_and_check(at_us(0));
+  m.record_and_check(at_us(100));
+  EXPECT_FALSE(m.record_and_check(at_us(999)));
+  // 1000us after the first admission, one slot frees up.
+  EXPECT_TRUE(m.record_and_check(at_us(1000)));
+  // But the next needs 1000us after the admission at 100.
+  EXPECT_FALSE(m.record_and_check(at_us(1050)));
+  EXPECT_TRUE(m.record_and_check(at_us(1100)));
+}
+
+TEST(WindowCountMonitorTest, DeniedEventsDoNotConsumeBudget) {
+  WindowCountMonitor m(Duration::us(1000), 1);
+  EXPECT_TRUE(m.record_and_check(at_us(0)));
+  for (int i = 1; i < 100; ++i) EXPECT_FALSE(m.record_and_check(at_us(i)));
+  // A storm of denials does not push the window.
+  EXPECT_TRUE(m.record_and_check(at_us(1000)));
+}
+
+TEST(WindowCountMonitorTest, MaxOneEqualsDeltaMin) {
+  WindowCountMonitor wc(Duration::us(500), 1);
+  DeltaMinMonitor dm(Duration::us(500));
+  // Identical decisions on a mixed pattern -- EXCEPT that the delta^- monitor
+  // measures against every arrival while the window counter only counts
+  // admissions, so feed a conforming-then-violating-then-waiting pattern
+  // where both semantics agree.
+  const std::int64_t times[] = {0, 500, 1300, 1800};
+  for (const auto t : times) {
+    EXPECT_EQ(wc.record_and_check(at_us(t)), dm.record_and_check(at_us(t))) << t;
+  }
+}
+
+class WindowBoundTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WindowBoundTest, AdmissionsPerWindowNeverExceedMax) {
+  const std::uint32_t max_events = GetParam();
+  const Duration window = Duration::us(700);
+  WindowCountMonitor m(window, max_events);
+  sim::Xoshiro256 rng(91 + max_events);
+  std::vector<TimePoint> admitted;
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 5000; ++i) {
+    t += Duration::from_us_f(rng.exponential(60.0));  // heavy overload
+    if (m.record_and_check(t)) admitted.push_back(t);
+  }
+  for (std::size_t i = 0; i < admitted.size(); ++i) {
+    std::size_t count = 0;
+    for (std::size_t j = i; j < admitted.size() && admitted[j] - admitted[i] < window;
+         ++j) {
+      ++count;
+    }
+    ASSERT_LE(count, max_events) << "at admission " << i;
+  }
+  // Long-run admitted rate ~ max_events per (window + residual wait): after
+  // a window opens, the next admission waits for the next arrival, which for
+  // exponential gaps overshoots by the mean gap (memorylessness).
+  const double cycle_us = static_cast<double>(window.count_ns()) / 1000.0 + 60.0;
+  const double expected = t.as_us() / cycle_us * max_events;
+  EXPECT_NEAR(static_cast<double>(admitted.size()), expected, expected * 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Maxima, WindowBoundTest, ::testing::Values(1u, 3u, 8u));
+
+TEST(WindowCountInterferenceTest, FormulaMatchesDefinition) {
+  const Duration c = Duration::us(50);
+  // One window fits twice (straddling): (ceil(1/1000)+1) * 2 admissions.
+  EXPECT_EQ(window_count_interference(Duration::us(1), Duration::us(1000), 2, c),
+            c * 4);
+  EXPECT_EQ(window_count_interference(Duration::us(2000), Duration::us(1000), 2, c),
+            c * 6);
+  EXPECT_EQ(window_count_interference(Duration::zero(), Duration::us(1000), 2, c),
+            Duration::zero());
+}
+
+}  // namespace
+}  // namespace rthv::mon

@@ -1,0 +1,76 @@
+// Randomized differential test of EventQueue against a simple reference
+// model (std::multimap): arbitrary interleavings of schedule / cancel / pop
+// must produce identical observable behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace rthv::sim {
+namespace {
+
+class EventQueueModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueModelTest, MatchesReferenceModel) {
+  Xoshiro256 rng(GetParam());
+  EventQueue queue;
+  // Reference: ordered by (time, insertion seq); value = payload id.
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, int> model;
+  std::vector<std::pair<EventId, std::pair<std::int64_t, std::uint64_t>>> live;
+  std::uint64_t seq = 0;
+  int last_payload = -1;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double op = rng.uniform01();
+    if (op < 0.5 || queue.empty()) {
+      // schedule
+      const auto t = static_cast<std::int64_t>(rng.uniform_int(0, 1000));
+      const int payload = step;
+      const EventId id =
+          queue.schedule(TimePoint::at_ns(t), [&last_payload, payload] {
+            last_payload = payload;
+          });
+      model.emplace(std::make_pair(t, seq), payload);
+      live.emplace_back(id, std::make_pair(t, seq));
+      ++seq;
+    } else if (op < 0.7 && !live.empty()) {
+      // cancel a random live entry (may already have been popped)
+      const auto idx = rng.uniform_int(0, live.size() - 1);
+      const auto [id, key] = live[idx];
+      const bool was_live = model.erase(key) > 0;
+      EXPECT_EQ(queue.cancel(id), was_live);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      // pop
+      ASSERT_FALSE(model.empty());
+      const auto expected = model.begin();
+      EXPECT_EQ(queue.next_time(), TimePoint::at_ns(expected->first.first));
+      auto popped = queue.pop();
+      EXPECT_EQ(popped.time, TimePoint::at_ns(expected->first.first));
+      popped.callback();
+      EXPECT_EQ(last_payload, expected->second);
+      model.erase(expected);
+    }
+    ASSERT_EQ(queue.size(), model.size());
+    ASSERT_EQ(queue.empty(), model.empty());
+  }
+  // Drain both and compare the full remaining order.
+  while (!model.empty()) {
+    const auto expected = model.begin();
+    auto popped = queue.pop();
+    EXPECT_EQ(popped.time, TimePoint::at_ns(expected->first.first));
+    popped.callback();
+    EXPECT_EQ(last_payload, expected->second);
+    model.erase(expected);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rthv::sim

@@ -1,0 +1,107 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rthv::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint::at_us(3), [&] { order.push_back(3); });
+  q.schedule(TimePoint::at_us(1), [&] { order.push_back(1); });
+  q.schedule(TimePoint::at_us(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesPopFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(TimePoint::at_us(10), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliestLive) {
+  EventQueue q;
+  q.schedule(TimePoint::at_us(5), [] {});
+  q.schedule(TimePoint::at_us(2), [] {});
+  EXPECT_EQ(q.next_time(), TimePoint::at_us(2));
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(TimePoint::at_us(1), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(TimePoint::at_us(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterPopReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(TimePoint::at_us(1), [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueueTest, CancelledHeadSkippedByNextTime) {
+  EventQueue q;
+  const EventId early = q.schedule(TimePoint::at_us(1), [] {});
+  q.schedule(TimePoint::at_us(9), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), TimePoint::at_us(9));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, PopReturnsTimeAndCallback) {
+  EventQueue q;
+  int hits = 0;
+  q.schedule(TimePoint::at_us(4), [&] { ++hits; });
+  auto popped = q.pop();
+  EXPECT_EQ(popped.time, TimePoint::at_us(4));
+  popped.callback();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(EventQueueTest, ManyInterleavedSchedulesAndCancels) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(TimePoint::at_us(100 - i), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 50u);
+  TimePoint last = TimePoint::origin();
+  while (!q.empty()) {
+    auto p = q.pop();
+    EXPECT_GE(p.time, last);
+    last = p.time;
+  }
+}
+
+}  // namespace
+}  // namespace rthv::sim

@@ -1,0 +1,111 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rthv::sim {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, Uniform01InRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, Uniform01OpenLowNeverZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.uniform01_open_low(), 0.0);
+    EXPECT_LE(rng.uniform01_open_low(), 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, UniformIntStaysInBoundsAndHitsEndpoints) {
+  Xoshiro256 rng(11);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    hit_lo |= (v == 3);
+    hit_hi |= (v == 7);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Xoshiro256Test, UniformIntSingleValue) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42u);
+}
+
+TEST(Xoshiro256Test, UniformRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_range(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+class ExponentialMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMeanTest, SampleMeanConvergesToParameter) {
+  const double mean = GetParam();
+  Xoshiro256 rng(17);
+  constexpr int kN = 200000;
+  double acc = 0;
+  for (int i = 0; i < kN; ++i) acc += rng.exponential(mean);
+  const double sample_mean = acc / kN;
+  EXPECT_NEAR(sample_mean, mean, mean * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanTest,
+                         ::testing::Values(1.0, 100.0, 1443.85, 1e6));
+
+TEST(Xoshiro256Test, ExponentialIsNonNegative) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(5.0), 0.0);
+}
+
+TEST(Xoshiro256Test, NormalMoments) {
+  Xoshiro256 rng(29);
+  constexpr int kN = 200000;
+  double acc = 0, acc2 = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    acc += v;
+    acc2 += v * v;
+  }
+  const double m = acc / kN;
+  const double var = acc2 / kN - m * m;
+  EXPECT_NEAR(m, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rthv::sim

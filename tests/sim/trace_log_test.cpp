@@ -1,0 +1,60 @@
+#include "sim/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::sim {
+namespace {
+
+TEST(TraceLogTest, DisabledByDefaultAndDropsRecords) {
+  TraceLog log;
+  EXPECT_FALSE(log.enabled());
+  log.emit(TimePoint::at_us(1), TraceCategory::kIrq, "x");
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(TraceLogTest, EnabledRecordsInOrder) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(TimePoint::at_us(1), TraceCategory::kIrq, "a");
+  log.emit(TimePoint::at_us(2), TraceCategory::kBottom, "b");
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].message, "a");
+  EXPECT_EQ(log.records()[1].category, TraceCategory::kBottom);
+}
+
+TEST(TraceLogTest, CountsByCategory) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(TimePoint::origin(), TraceCategory::kMonitor, "m1");
+  log.emit(TimePoint::origin(), TraceCategory::kMonitor, "m2");
+  log.emit(TimePoint::origin(), TraceCategory::kGuest, "g");
+  EXPECT_EQ(log.count(TraceCategory::kMonitor), 2u);
+  EXPECT_EQ(log.count(TraceCategory::kGuest), 1u);
+  EXPECT_EQ(log.count(TraceCategory::kIrq), 0u);
+}
+
+TEST(TraceLogTest, RenderContainsCategoriesAndMessages) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(TimePoint::at_us(5), TraceCategory::kScheduler, "switch");
+  const auto text = log.render();
+  EXPECT_NE(text.find("[sched]"), std::string::npos);
+  EXPECT_NE(text.find("switch"), std::string::npos);
+}
+
+TEST(TraceLogTest, ClearEmptiesRecords) {
+  TraceLog log;
+  log.set_enabled(true);
+  log.emit(TimePoint::origin(), TraceCategory::kOther, "x");
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(TraceLogTest, CategoryNamesAreDistinct) {
+  EXPECT_EQ(to_string(TraceCategory::kIrq), "irq");
+  EXPECT_EQ(to_string(TraceCategory::kInterpose), "interpose");
+  EXPECT_NE(to_string(TraceCategory::kTopHandler), to_string(TraceCategory::kBottom));
+}
+
+}  // namespace
+}  // namespace rthv::sim

@@ -1,0 +1,77 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rthv::stats {
+namespace {
+
+using sim::Duration;
+
+TEST(HistogramTest, BinCountFromRangeAndWidth) {
+  Histogram h(Duration::zero(), Duration::us(100), Duration::us(10));
+  EXPECT_EQ(h.num_bins(), 10u);
+  Histogram uneven(Duration::zero(), Duration::us(95), Duration::us(10));
+  EXPECT_EQ(uneven.num_bins(), 10u);  // rounded up to cover the range
+}
+
+TEST(HistogramTest, SamplesLandInCorrectBins) {
+  Histogram h(Duration::zero(), Duration::us(100), Duration::us(10));
+  h.add(Duration::us(0));
+  h.add(Duration::us(9));
+  h.add(Duration::us(10));
+  h.add(Duration::us(99));
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, UnderflowAndOverflow) {
+  Histogram h(Duration::us(10), Duration::us(20), Duration::us(10));
+  h.add(Duration::us(5));
+  h.add(Duration::us(25));
+  h.add(Duration::us(15));
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, BinBoundaries) {
+  Histogram h(Duration::us(100), Duration::us(400), Duration::us(100));
+  EXPECT_EQ(h.bin_lower(0), Duration::us(100));
+  EXPECT_EQ(h.bin_upper(0), Duration::us(200));
+  EXPECT_EQ(h.bin_lower(2), Duration::us(300));
+}
+
+TEST(HistogramTest, CsvOutput) {
+  Histogram h(Duration::zero(), Duration::us(20), Duration::us(10));
+  h.add(Duration::us(5));
+  std::ostringstream os;
+  h.write_csv(os);
+  EXPECT_EQ(os.str(), "bin_lo_us,bin_hi_us,count\n0,10,1\n10,20,0\n");
+}
+
+TEST(HistogramTest, AsciiSkipsEmptyBinsAndShowsCounts) {
+  Histogram h(Duration::zero(), Duration::us(30), Duration::us(10));
+  for (int i = 0; i < 5; ++i) h.add(Duration::us(5));
+  h.add(Duration::us(25));
+  std::ostringstream os;
+  h.write_ascii(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("#"), std::string::npos);
+  EXPECT_NE(text.find(" 5"), std::string::npos);
+  EXPECT_EQ(text.find("[10, 20)"), std::string::npos);  // empty bin skipped
+}
+
+TEST(HistogramTest, AsciiEmptyHistogram) {
+  Histogram h(Duration::zero(), Duration::us(10), Duration::us(10));
+  std::ostringstream os;
+  h.write_ascii(os);
+  EXPECT_EQ(os.str(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace rthv::stats

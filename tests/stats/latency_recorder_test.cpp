@@ -1,0 +1,66 @@
+#include "stats/latency_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rthv::stats {
+namespace {
+
+using sim::Duration;
+
+TEST(LatencyRecorderTest, RecordsPerClassAndOverall) {
+  LatencyRecorder r;
+  r.record(HandlingClass::kDirect, Duration::us(40));
+  r.record(HandlingClass::kDirect, Duration::us(50));
+  r.record(HandlingClass::kDelayed, Duration::us(8000));
+  EXPECT_EQ(r.count(HandlingClass::kDirect), 2u);
+  EXPECT_EQ(r.count(HandlingClass::kDelayed), 1u);
+  EXPECT_EQ(r.count(HandlingClass::kInterposed), 0u);
+  EXPECT_EQ(r.total(), 3u);
+  EXPECT_EQ(r.of(HandlingClass::kDirect).mean(), Duration::us(45));
+  EXPECT_EQ(r.all().max(), Duration::us(8000));
+}
+
+TEST(LatencyRecorderTest, Fractions) {
+  LatencyRecorder r;
+  r.record(HandlingClass::kDirect, Duration::us(1));
+  r.record(HandlingClass::kInterposed, Duration::us(1));
+  r.record(HandlingClass::kInterposed, Duration::us(1));
+  r.record(HandlingClass::kDelayed, Duration::us(1));
+  EXPECT_DOUBLE_EQ(r.fraction(HandlingClass::kDirect), 0.25);
+  EXPECT_DOUBLE_EQ(r.fraction(HandlingClass::kInterposed), 0.5);
+}
+
+TEST(LatencyRecorderTest, FractionOfEmptyRecorderIsZero) {
+  LatencyRecorder r;
+  EXPECT_DOUBLE_EQ(r.fraction(HandlingClass::kDirect), 0.0);
+}
+
+TEST(LatencyRecorderTest, SummaryLineMentionsAllClasses) {
+  LatencyRecorder r;
+  r.record(HandlingClass::kInterposed, Duration::us(150));
+  std::ostringstream os;
+  r.write_summary(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("direct"), std::string::npos);
+  EXPECT_NE(text.find("interposed"), std::string::npos);
+  EXPECT_NE(text.find("delayed"), std::string::npos);
+  EXPECT_NE(text.find("150"), std::string::npos);
+}
+
+TEST(LatencyRecorderTest, EmptySummaryDoesNotCrash) {
+  LatencyRecorder r;
+  std::ostringstream os;
+  r.write_summary(os);
+  EXPECT_NE(os.str().find("no IRQs"), std::string::npos);
+}
+
+TEST(HandlingClassTest, Names) {
+  EXPECT_EQ(to_string(HandlingClass::kDirect), "direct");
+  EXPECT_EQ(to_string(HandlingClass::kInterposed), "interposed");
+  EXPECT_EQ(to_string(HandlingClass::kDelayed), "delayed");
+}
+
+}  // namespace
+}  // namespace rthv::stats

@@ -1,0 +1,52 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rthv::stats {
+namespace {
+
+TEST(TableTest, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.write(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t({"h", "x"});
+  t.add_row({"longcell", "1"});
+  std::ostringstream os;
+  t.write(os);
+  std::istringstream is(os.str());
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  // "x" starts at the same column in header and data row.
+  EXPECT_EQ(header.find('x'), row.find('1'));
+}
+
+TEST(TableTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2500.0, 0), "2500");
+  EXPECT_EQ(Table::num(0.5), "0.5");
+}
+
+TEST(TableTest, EmptyTableRendersHeaderOnly) {
+  Table t({"only"});
+  std::ostringstream os;
+  t.write(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace rthv::stats

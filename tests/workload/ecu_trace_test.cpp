@@ -1,0 +1,80 @@
+#include "workload/ecu_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::workload {
+namespace {
+
+using sim::Duration;
+
+TEST(EcuTraceSynthesizerTest, ProducesTargetActivationCount) {
+  EcuTraceConfig cfg;
+  cfg.target_activations = 11000;
+  const Trace t = EcuTraceSynthesizer(cfg).synthesize();
+  EXPECT_EQ(t.size(), 11000u);
+}
+
+TEST(EcuTraceSynthesizerTest, Deterministic) {
+  EcuTraceConfig cfg;
+  cfg.target_activations = 2000;
+  const Trace a = EcuTraceSynthesizer(cfg).synthesize();
+  const Trace b = EcuTraceSynthesizer(cfg).synthesize();
+  EXPECT_EQ(a.distances(), b.distances());
+}
+
+TEST(EcuTraceSynthesizerTest, SeedChangesTrace) {
+  EcuTraceConfig a;
+  a.target_activations = 2000;
+  EcuTraceConfig b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(EcuTraceSynthesizer(a).synthesize().distances(),
+            EcuTraceSynthesizer(b).synthesize().distances());
+}
+
+TEST(EcuTraceSynthesizerTest, HasBurstStructure) {
+  // The learned delta^- must have non-trivial short-distance structure:
+  // the minimum consecutive distance is far below the mean.
+  EcuTraceConfig cfg;
+  cfg.target_activations = 11000;
+  const Trace t = EcuTraceSynthesizer(cfg).synthesize();
+  EXPECT_LT(t.min_distance() * 4, t.mean_distance());
+}
+
+TEST(EcuTraceSynthesizerTest, DeltaVectorIsUsableForLearning) {
+  EcuTraceConfig cfg;
+  cfg.target_activations = 5000;
+  const Trace t = EcuTraceSynthesizer(cfg).synthesize();
+  const auto dv = t.delta_vector(5);
+  ASSERT_EQ(dv.size(), 5u);
+  for (std::size_t i = 1; i < dv.size(); ++i) EXPECT_GE(dv[i], dv[i - 1]);
+  EXPECT_TRUE(dv[0].is_positive() || dv[0].is_zero());
+  EXPECT_LT(dv[4], Duration::max());
+}
+
+TEST(EcuTraceSynthesizerTest, ComponentsCanBeDisabled) {
+  EcuTraceConfig cfg;
+  cfg.target_activations = 1000;
+  cfg.with_periodic_tasks = false;
+  cfg.with_bursts = false;
+  cfg.dense_burst_count = 0;
+  const Trace t = EcuTraceSynthesizer(cfg).synthesize();
+  EXPECT_EQ(t.size(), 1000u);
+  // Crank-only: distances follow the RPM envelope, between ~60/4000rpm*2cyl
+  // and ~60/800rpm*2cyl seconds (with 2% noise margin).
+  for (const auto d : t.distances()) {
+    EXPECT_GE(d, Duration::us(7000));
+    EXPECT_LE(d, Duration::us(40000));
+  }
+}
+
+TEST(EcuTraceSynthesizerTest, AggregateLoadInPlausibleRange) {
+  EcuTraceConfig cfg;
+  cfg.target_activations = 11000;
+  const Trace t = EcuTraceSynthesizer(cfg).synthesize();
+  // Around 1000 events/s by construction (see ecu_trace.cpp rate model).
+  EXPECT_GT(t.rate_hz(), 300.0);
+  EXPECT_LT(t.rate_hz(), 3000.0);
+}
+
+}  // namespace
+}  // namespace rthv::workload

@@ -1,0 +1,158 @@
+#include "workload/generators.hpp"
+
+#include "mon/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rthv::workload {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(ExponentialTraceGeneratorTest, Deterministic) {
+  ExponentialTraceGenerator a(Duration::us(100), 42);
+  ExponentialTraceGenerator b(Duration::us(100), 42);
+  EXPECT_EQ(a.generate(50).distances(), b.generate(50).distances());
+}
+
+TEST(ExponentialTraceGeneratorTest, DifferentSeedsDiffer) {
+  ExponentialTraceGenerator a(Duration::us(100), 1);
+  ExponentialTraceGenerator b(Duration::us(100), 2);
+  EXPECT_NE(a.generate(50).distances(), b.generate(50).distances());
+}
+
+class ExponentialMeanTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ExponentialMeanTest, SampleMeanNearConfigured) {
+  const Duration mean = Duration::us(GetParam());
+  ExponentialTraceGenerator gen(mean, 7);
+  const Trace t = gen.generate(50000);
+  const double ratio = static_cast<double>(t.mean_distance().count_ns()) /
+                       static_cast<double>(mean.count_ns());
+  EXPECT_NEAR(ratio, 1.0, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMeanTest,
+                         ::testing::Values(100, 1444, 14438));
+
+TEST(ExponentialTraceGeneratorTest, FloorClampsAllDistances) {
+  const Duration floor = Duration::us(500);
+  ExponentialTraceGenerator gen(Duration::us(500), 11, floor);
+  const Trace t = gen.generate(5000);
+  for (const auto d : t.distances()) EXPECT_GE(d, floor);
+  // With floor = mean, a large fraction of samples gets clamped.
+  EXPECT_EQ(t.min_distance(), floor);
+}
+
+TEST(PeriodicTraceGeneratorTest, CountMatchesHorizon) {
+  PeriodicTraceGenerator gen(Duration::ms(10), Duration::zero(), Duration::zero(), 3);
+  const auto events = gen.generate_until(Duration::ms(100));
+  // Releases at 0, 10, ..., 100 -> 11 activations.
+  EXPECT_EQ(events.size(), 11u);
+  EXPECT_EQ(events[1] - events[0], Duration::ms(10));
+}
+
+TEST(PeriodicTraceGeneratorTest, JitterStaysWithinBound) {
+  const Duration period = Duration::ms(10);
+  const Duration jitter = Duration::ms(2);
+  PeriodicTraceGenerator gen(period, jitter, Duration::zero(), 5);
+  const auto events = gen.generate_until(Duration::s(1));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto nominal = Duration::ms(10) * static_cast<std::int64_t>(i);
+    const auto offset = (events[i] - TimePoint::origin()) - nominal;
+    EXPECT_LE(offset, jitter) << "i=" << i;
+    EXPECT_GE(offset, -jitter) << "i=" << i;
+  }
+}
+
+TEST(PeriodicTraceGeneratorTest, PhaseShiftsFirstRelease) {
+  PeriodicTraceGenerator gen(Duration::ms(10), Duration::zero(), Duration::ms(3), 3);
+  const auto events = gen.generate_until(Duration::ms(30));
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0], TimePoint::origin() + Duration::ms(3));
+}
+
+TEST(PeriodicTraceGeneratorTest, OutputIsSorted) {
+  PeriodicTraceGenerator gen(Duration::ms(1), Duration::us(400), Duration::zero(), 9);
+  const auto events = gen.generate_until(Duration::s(1));
+  for (std::size_t i = 1; i < events.size(); ++i) EXPECT_GE(events[i], events[i - 1]);
+}
+
+TEST(BurstTraceGeneratorTest, BurstsHaveIntraDistanceStructure) {
+  BurstTraceGenerator gen(Duration::ms(10), 4, Duration::us(100), 13);
+  const auto events = gen.generate_until(Duration::s(1));
+  ASSERT_GT(events.size(), 10u);
+  // At least one pair exactly intra-distance apart (inside a burst).
+  bool found_intra = false;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i] - events[i - 1] == Duration::us(100)) found_intra = true;
+  }
+  EXPECT_TRUE(found_intra);
+}
+
+TEST(BurstTraceGeneratorTest, RespectsHorizon) {
+  BurstTraceGenerator gen(Duration::ms(5), 3, Duration::us(50), 17);
+  const auto events = gen.generate_until(Duration::ms(100));
+  for (const auto e : events) {
+    EXPECT_LE(e, TimePoint::origin() + Duration::ms(100));
+  }
+}
+
+TEST(MergeStreamsTest, SortsAndConcatenates) {
+  const std::vector<TimePoint> a{TimePoint::at_us(10), TimePoint::at_us(30)};
+  const std::vector<TimePoint> b{TimePoint::at_us(20)};
+  const Trace merged = merge_streams({a, b});
+  ASSERT_EQ(merged.size(), 3u);
+  const auto times = merged.activation_times();
+  EXPECT_EQ(times[0], TimePoint::at_us(10));
+  EXPECT_EQ(times[1], TimePoint::at_us(20));
+  EXPECT_EQ(times[2], TimePoint::at_us(30));
+}
+
+TEST(MergeStreamsTest, EmptyInput) {
+  EXPECT_TRUE(merge_streams({}).empty());
+  EXPECT_TRUE(merge_streams({{}, {}}).empty());
+}
+
+TEST(WorstCaseTraceTest, SingleDistanceIsBackToBackAtDmin) {
+  const Trace t = worst_case_conforming_trace({Duration::us(100)}, 5);
+  const auto times = t.activation_times();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], Duration::us(100));
+  }
+}
+
+TEST(WorstCaseTraceTest, VectorConstraintsShapeBursts) {
+  // Pairs may be 10us apart but any 3 events must span 100us: the densest
+  // trace alternates a tight pair and a wait.
+  const Trace t = worst_case_conforming_trace({Duration::us(10), Duration::us(100)}, 6);
+  const auto times = t.activation_times();
+  // Check conformance of every window.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i] - times[i - 1], Duration::us(10));
+    if (i >= 2) {
+      EXPECT_GE(times[i] - times[i - 2], Duration::us(100));
+    }
+  }
+  // And maximality: each event sits exactly on one of its binding bounds.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const bool tight_pair = (times[i] - times[i - 1]) == Duration::us(10);
+    const bool tight_triple = i >= 2 && (times[i] - times[i - 2]) == Duration::us(100);
+    EXPECT_TRUE(tight_pair || tight_triple) << "event " << i << " is not maximal";
+  }
+}
+
+TEST(WorstCaseTraceTest, FullyAdmittedByMatchingMonitor) {
+  const std::vector<Duration> deltas{Duration::us(50), Duration::us(200),
+                                     Duration::us(500)};
+  const Trace t = worst_case_conforming_trace(deltas, 200);
+  mon::DeltaVectorMonitor monitor(deltas);
+  for (const auto time : t.activation_times()) {
+    EXPECT_TRUE(monitor.record_and_check(time));
+  }
+  EXPECT_EQ(monitor.denied(), 0u);
+}
+
+}  // namespace
+}  // namespace rthv::workload
