@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_bounds.dir/analysis_bounds.cpp.o"
+  "CMakeFiles/analysis_bounds.dir/analysis_bounds.cpp.o.d"
+  "analysis_bounds"
+  "analysis_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

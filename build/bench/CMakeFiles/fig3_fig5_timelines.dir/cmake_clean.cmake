@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig5_timelines.dir/fig3_fig5_timelines.cpp.o"
+  "CMakeFiles/fig3_fig5_timelines.dir/fig3_fig5_timelines.cpp.o.d"
+  "fig3_fig5_timelines"
+  "fig3_fig5_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig5_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_common.cpp" "bench/CMakeFiles/fig6a_unmonitored.dir/fig6_common.cpp.o" "gcc" "bench/CMakeFiles/fig6a_unmonitored.dir/fig6_common.cpp.o.d"
+  "/root/repo/bench/fig6a_unmonitored.cpp" "bench/CMakeFiles/fig6a_unmonitored.dir/fig6a_unmonitored.cpp.o" "gcc" "bench/CMakeFiles/fig6a_unmonitored.dir/fig6a_unmonitored.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rthv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/rthv_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/rthv_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rthv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rthv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rthv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/rthv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rthv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_unmonitored.dir/fig6_common.cpp.o"
+  "CMakeFiles/fig6a_unmonitored.dir/fig6_common.cpp.o.d"
+  "CMakeFiles/fig6a_unmonitored.dir/fig6a_unmonitored.cpp.o"
+  "CMakeFiles/fig6a_unmonitored.dir/fig6a_unmonitored.cpp.o.d"
+  "fig6a_unmonitored"
+  "fig6a_unmonitored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_unmonitored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

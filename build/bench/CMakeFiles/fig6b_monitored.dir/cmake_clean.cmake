@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_monitored.dir/fig6_common.cpp.o"
+  "CMakeFiles/fig6b_monitored.dir/fig6_common.cpp.o.d"
+  "CMakeFiles/fig6b_monitored.dir/fig6b_monitored.cpp.o"
+  "CMakeFiles/fig6b_monitored.dir/fig6b_monitored.cpp.o.d"
+  "fig6b_monitored"
+  "fig6b_monitored.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_monitored.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_no_violations.dir/fig6_common.cpp.o"
+  "CMakeFiles/fig6c_no_violations.dir/fig6_common.cpp.o.d"
+  "CMakeFiles/fig6c_no_violations.dir/fig6c_no_violations.cpp.o"
+  "CMakeFiles/fig6c_no_violations.dir/fig6c_no_violations.cpp.o.d"
+  "fig6c_no_violations"
+  "fig6c_no_violations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_no_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

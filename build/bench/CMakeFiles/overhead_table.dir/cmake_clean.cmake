@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_table.dir/overhead_table.cpp.o"
+  "CMakeFiles/overhead_table.dir/overhead_table.cpp.o.d"
+  "overhead_table"
+  "overhead_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

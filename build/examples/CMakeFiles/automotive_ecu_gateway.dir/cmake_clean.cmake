@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_ecu_gateway.dir/automotive_ecu_gateway.cpp.o"
+  "CMakeFiles/automotive_ecu_gateway.dir/automotive_ecu_gateway.cpp.o.d"
+  "automotive_ecu_gateway"
+  "automotive_ecu_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_ecu_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avionics_io_gateway.dir/avionics_io_gateway.cpp.o"
+  "CMakeFiles/avionics_io_gateway.dir/avionics_io_gateway.cpp.o.d"
+  "avionics_io_gateway"
+  "avionics_io_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avionics_io_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irq_trace_inspector.dir/irq_trace_inspector.cpp.o"
+  "CMakeFiles/irq_trace_inspector.dir/irq_trace_inspector.cpp.o.d"
+  "irq_trace_inspector"
+  "irq_trace_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irq_trace_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

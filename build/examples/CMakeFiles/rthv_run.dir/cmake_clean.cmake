@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_run.dir/rthv_run.cpp.o"
+  "CMakeFiles/rthv_run.dir/rthv_run.cpp.o.d"
+  "rthv_run"
+  "rthv_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

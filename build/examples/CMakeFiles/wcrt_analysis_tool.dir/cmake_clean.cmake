@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcrt_analysis_tool.dir/wcrt_analysis_tool.cpp.o"
+  "CMakeFiles/wcrt_analysis_tool.dir/wcrt_analysis_tool.cpp.o.d"
+  "wcrt_analysis_tool"
+  "wcrt_analysis_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcrt_analysis_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

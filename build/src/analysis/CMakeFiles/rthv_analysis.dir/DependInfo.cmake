@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/arrival_curve.cpp" "src/analysis/CMakeFiles/rthv_analysis.dir/arrival_curve.cpp.o" "gcc" "src/analysis/CMakeFiles/rthv_analysis.dir/arrival_curve.cpp.o.d"
+  "/root/repo/src/analysis/busy_window.cpp" "src/analysis/CMakeFiles/rthv_analysis.dir/busy_window.cpp.o" "gcc" "src/analysis/CMakeFiles/rthv_analysis.dir/busy_window.cpp.o.d"
+  "/root/repo/src/analysis/chain.cpp" "src/analysis/CMakeFiles/rthv_analysis.dir/chain.cpp.o" "gcc" "src/analysis/CMakeFiles/rthv_analysis.dir/chain.cpp.o.d"
+  "/root/repo/src/analysis/irq_latency.cpp" "src/analysis/CMakeFiles/rthv_analysis.dir/irq_latency.cpp.o" "gcc" "src/analysis/CMakeFiles/rthv_analysis.dir/irq_latency.cpp.o.d"
+  "/root/repo/src/analysis/min_distance.cpp" "src/analysis/CMakeFiles/rthv_analysis.dir/min_distance.cpp.o" "gcc" "src/analysis/CMakeFiles/rthv_analysis.dir/min_distance.cpp.o.d"
+  "/root/repo/src/analysis/slot_table.cpp" "src/analysis/CMakeFiles/rthv_analysis.dir/slot_table.cpp.o" "gcc" "src/analysis/CMakeFiles/rthv_analysis.dir/slot_table.cpp.o.d"
+  "/root/repo/src/analysis/task_wcrt.cpp" "src/analysis/CMakeFiles/rthv_analysis.dir/task_wcrt.cpp.o" "gcc" "src/analysis/CMakeFiles/rthv_analysis.dir/task_wcrt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

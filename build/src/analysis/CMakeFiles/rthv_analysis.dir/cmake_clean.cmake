@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_analysis.dir/arrival_curve.cpp.o"
+  "CMakeFiles/rthv_analysis.dir/arrival_curve.cpp.o.d"
+  "CMakeFiles/rthv_analysis.dir/busy_window.cpp.o"
+  "CMakeFiles/rthv_analysis.dir/busy_window.cpp.o.d"
+  "CMakeFiles/rthv_analysis.dir/chain.cpp.o"
+  "CMakeFiles/rthv_analysis.dir/chain.cpp.o.d"
+  "CMakeFiles/rthv_analysis.dir/irq_latency.cpp.o"
+  "CMakeFiles/rthv_analysis.dir/irq_latency.cpp.o.d"
+  "CMakeFiles/rthv_analysis.dir/min_distance.cpp.o"
+  "CMakeFiles/rthv_analysis.dir/min_distance.cpp.o.d"
+  "CMakeFiles/rthv_analysis.dir/slot_table.cpp.o"
+  "CMakeFiles/rthv_analysis.dir/slot_table.cpp.o.d"
+  "CMakeFiles/rthv_analysis.dir/task_wcrt.cpp.o"
+  "CMakeFiles/rthv_analysis.dir/task_wcrt.cpp.o.d"
+  "librthv_analysis.a"
+  "librthv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

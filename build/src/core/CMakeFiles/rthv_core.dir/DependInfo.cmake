@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis_facade.cpp" "src/core/CMakeFiles/rthv_core.dir/analysis_facade.cpp.o" "gcc" "src/core/CMakeFiles/rthv_core.dir/analysis_facade.cpp.o.d"
+  "/root/repo/src/core/config_loader.cpp" "src/core/CMakeFiles/rthv_core.dir/config_loader.cpp.o" "gcc" "src/core/CMakeFiles/rthv_core.dir/config_loader.cpp.o.d"
+  "/root/repo/src/core/hypervisor_system.cpp" "src/core/CMakeFiles/rthv_core.dir/hypervisor_system.cpp.o" "gcc" "src/core/CMakeFiles/rthv_core.dir/hypervisor_system.cpp.o.d"
+  "/root/repo/src/core/system_config.cpp" "src/core/CMakeFiles/rthv_core.dir/system_config.cpp.o" "gcc" "src/core/CMakeFiles/rthv_core.dir/system_config.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/rthv_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/rthv_core.dir/timeline.cpp.o.d"
+  "/root/repo/src/core/trace_driver.cpp" "src/core/CMakeFiles/rthv_core.dir/trace_driver.cpp.o" "gcc" "src/core/CMakeFiles/rthv_core.dir/trace_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rthv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/rthv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rthv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rthv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rthv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/rthv_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/rthv_guest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_core.dir/analysis_facade.cpp.o"
+  "CMakeFiles/rthv_core.dir/analysis_facade.cpp.o.d"
+  "CMakeFiles/rthv_core.dir/config_loader.cpp.o"
+  "CMakeFiles/rthv_core.dir/config_loader.cpp.o.d"
+  "CMakeFiles/rthv_core.dir/hypervisor_system.cpp.o"
+  "CMakeFiles/rthv_core.dir/hypervisor_system.cpp.o.d"
+  "CMakeFiles/rthv_core.dir/system_config.cpp.o"
+  "CMakeFiles/rthv_core.dir/system_config.cpp.o.d"
+  "CMakeFiles/rthv_core.dir/timeline.cpp.o"
+  "CMakeFiles/rthv_core.dir/timeline.cpp.o.d"
+  "CMakeFiles/rthv_core.dir/trace_driver.cpp.o"
+  "CMakeFiles/rthv_core.dir/trace_driver.cpp.o.d"
+  "librthv_core.a"
+  "librthv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

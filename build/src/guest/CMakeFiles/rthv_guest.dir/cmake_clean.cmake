@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_guest.dir/guest_kernel.cpp.o"
+  "CMakeFiles/rthv_guest.dir/guest_kernel.cpp.o.d"
+  "librthv_guest.a"
+  "librthv_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hv/health.cpp" "src/hv/CMakeFiles/rthv_hv.dir/health.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/health.cpp.o.d"
+  "/root/repo/src/hv/hypervisor.cpp" "src/hv/CMakeFiles/rthv_hv.dir/hypervisor.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hv/ipc.cpp" "src/hv/CMakeFiles/rthv_hv.dir/ipc.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/ipc.cpp.o.d"
+  "/root/repo/src/hv/irq_queue.cpp" "src/hv/CMakeFiles/rthv_hv.dir/irq_queue.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/irq_queue.cpp.o.d"
+  "/root/repo/src/hv/overhead_model.cpp" "src/hv/CMakeFiles/rthv_hv.dir/overhead_model.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/overhead_model.cpp.o.d"
+  "/root/repo/src/hv/partition.cpp" "src/hv/CMakeFiles/rthv_hv.dir/partition.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/partition.cpp.o.d"
+  "/root/repo/src/hv/sampling_port.cpp" "src/hv/CMakeFiles/rthv_hv.dir/sampling_port.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/sampling_port.cpp.o.d"
+  "/root/repo/src/hv/tdma_scheduler.cpp" "src/hv/CMakeFiles/rthv_hv.dir/tdma_scheduler.cpp.o" "gcc" "src/hv/CMakeFiles/rthv_hv.dir/tdma_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rthv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/rthv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rthv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_hv.dir/health.cpp.o"
+  "CMakeFiles/rthv_hv.dir/health.cpp.o.d"
+  "CMakeFiles/rthv_hv.dir/hypervisor.cpp.o"
+  "CMakeFiles/rthv_hv.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/rthv_hv.dir/ipc.cpp.o"
+  "CMakeFiles/rthv_hv.dir/ipc.cpp.o.d"
+  "CMakeFiles/rthv_hv.dir/irq_queue.cpp.o"
+  "CMakeFiles/rthv_hv.dir/irq_queue.cpp.o.d"
+  "CMakeFiles/rthv_hv.dir/overhead_model.cpp.o"
+  "CMakeFiles/rthv_hv.dir/overhead_model.cpp.o.d"
+  "CMakeFiles/rthv_hv.dir/partition.cpp.o"
+  "CMakeFiles/rthv_hv.dir/partition.cpp.o.d"
+  "CMakeFiles/rthv_hv.dir/sampling_port.cpp.o"
+  "CMakeFiles/rthv_hv.dir/sampling_port.cpp.o.d"
+  "CMakeFiles/rthv_hv.dir/tdma_scheduler.cpp.o"
+  "CMakeFiles/rthv_hv.dir/tdma_scheduler.cpp.o.d"
+  "librthv_hv.a"
+  "librthv_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu_model.cpp" "src/hw/CMakeFiles/rthv_hw.dir/cpu_model.cpp.o" "gcc" "src/hw/CMakeFiles/rthv_hw.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/hw/hw_timer.cpp" "src/hw/CMakeFiles/rthv_hw.dir/hw_timer.cpp.o" "gcc" "src/hw/CMakeFiles/rthv_hw.dir/hw_timer.cpp.o.d"
+  "/root/repo/src/hw/interrupt_controller.cpp" "src/hw/CMakeFiles/rthv_hw.dir/interrupt_controller.cpp.o" "gcc" "src/hw/CMakeFiles/rthv_hw.dir/interrupt_controller.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/rthv_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/rthv_hw.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

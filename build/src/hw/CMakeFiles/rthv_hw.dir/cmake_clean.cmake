@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_hw.dir/cpu_model.cpp.o"
+  "CMakeFiles/rthv_hw.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/rthv_hw.dir/hw_timer.cpp.o"
+  "CMakeFiles/rthv_hw.dir/hw_timer.cpp.o.d"
+  "CMakeFiles/rthv_hw.dir/interrupt_controller.cpp.o"
+  "CMakeFiles/rthv_hw.dir/interrupt_controller.cpp.o.d"
+  "CMakeFiles/rthv_hw.dir/platform.cpp.o"
+  "CMakeFiles/rthv_hw.dir/platform.cpp.o.d"
+  "librthv_hw.a"
+  "librthv_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mon/learning_monitor.cpp" "src/mon/CMakeFiles/rthv_mon.dir/learning_monitor.cpp.o" "gcc" "src/mon/CMakeFiles/rthv_mon.dir/learning_monitor.cpp.o.d"
+  "/root/repo/src/mon/monitor.cpp" "src/mon/CMakeFiles/rthv_mon.dir/monitor.cpp.o" "gcc" "src/mon/CMakeFiles/rthv_mon.dir/monitor.cpp.o.d"
+  "/root/repo/src/mon/token_bucket_monitor.cpp" "src/mon/CMakeFiles/rthv_mon.dir/token_bucket_monitor.cpp.o" "gcc" "src/mon/CMakeFiles/rthv_mon.dir/token_bucket_monitor.cpp.o.d"
+  "/root/repo/src/mon/window_count_monitor.cpp" "src/mon/CMakeFiles/rthv_mon.dir/window_count_monitor.cpp.o" "gcc" "src/mon/CMakeFiles/rthv_mon.dir/window_count_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_mon.dir/learning_monitor.cpp.o"
+  "CMakeFiles/rthv_mon.dir/learning_monitor.cpp.o.d"
+  "CMakeFiles/rthv_mon.dir/monitor.cpp.o"
+  "CMakeFiles/rthv_mon.dir/monitor.cpp.o.d"
+  "CMakeFiles/rthv_mon.dir/token_bucket_monitor.cpp.o"
+  "CMakeFiles/rthv_mon.dir/token_bucket_monitor.cpp.o.d"
+  "CMakeFiles/rthv_mon.dir/window_count_monitor.cpp.o"
+  "CMakeFiles/rthv_mon.dir/window_count_monitor.cpp.o.d"
+  "librthv_mon.a"
+  "librthv_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rthv_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rthv_sim.dir/random.cpp.o"
+  "CMakeFiles/rthv_sim.dir/random.cpp.o.d"
+  "CMakeFiles/rthv_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rthv_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rthv_sim.dir/time.cpp.o"
+  "CMakeFiles/rthv_sim.dir/time.cpp.o.d"
+  "CMakeFiles/rthv_sim.dir/trace_log.cpp.o"
+  "CMakeFiles/rthv_sim.dir/trace_log.cpp.o.d"
+  "librthv_sim.a"
+  "librthv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_stats.dir/export.cpp.o"
+  "CMakeFiles/rthv_stats.dir/export.cpp.o.d"
+  "CMakeFiles/rthv_stats.dir/histogram.cpp.o"
+  "CMakeFiles/rthv_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/rthv_stats.dir/latency_recorder.cpp.o"
+  "CMakeFiles/rthv_stats.dir/latency_recorder.cpp.o.d"
+  "CMakeFiles/rthv_stats.dir/summary.cpp.o"
+  "CMakeFiles/rthv_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/rthv_stats.dir/table.cpp.o"
+  "CMakeFiles/rthv_stats.dir/table.cpp.o.d"
+  "librthv_stats.a"
+  "librthv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

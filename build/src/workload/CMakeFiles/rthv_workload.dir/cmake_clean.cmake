@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rthv_workload.dir/ecu_trace.cpp.o"
+  "CMakeFiles/rthv_workload.dir/ecu_trace.cpp.o.d"
+  "CMakeFiles/rthv_workload.dir/generators.cpp.o"
+  "CMakeFiles/rthv_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/rthv_workload.dir/trace.cpp.o"
+  "CMakeFiles/rthv_workload.dir/trace.cpp.o.d"
+  "librthv_workload.a"
+  "librthv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rthv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

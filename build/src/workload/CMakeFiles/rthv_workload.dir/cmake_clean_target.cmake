@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librthv_workload.a"
+)

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/arrival_curve_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/arrival_curve_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/burst_model_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/burst_model_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/busy_window_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/busy_window_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/chain_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/chain_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/irq_latency_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/irq_latency_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/min_distance_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/min_distance_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/slot_table_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/slot_table_test.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/task_wcrt_test.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/task_wcrt_test.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analysis_facade_test.cpp" "tests/CMakeFiles/test_core.dir/core/analysis_facade_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/analysis_facade_test.cpp.o.d"
+  "/root/repo/tests/core/config_loader_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_loader_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_loader_test.cpp.o.d"
+  "/root/repo/tests/core/hypervisor_system_test.cpp" "tests/CMakeFiles/test_core.dir/core/hypervisor_system_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hypervisor_system_test.cpp.o.d"
+  "/root/repo/tests/core/system_config_test.cpp" "tests/CMakeFiles/test_core.dir/core/system_config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/system_config_test.cpp.o.d"
+  "/root/repo/tests/core/timeline_test.cpp" "tests/CMakeFiles/test_core.dir/core/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rthv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/rthv_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/rthv_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rthv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rthv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rthv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/rthv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rthv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

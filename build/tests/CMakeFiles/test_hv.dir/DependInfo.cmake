@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hv/health_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/health_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/health_test.cpp.o.d"
+  "/root/repo/tests/hv/hypercall_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/hypercall_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/hypercall_test.cpp.o.d"
+  "/root/repo/tests/hv/hypervisor_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/hypervisor_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/hypervisor_test.cpp.o.d"
+  "/root/repo/tests/hv/interpose_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/interpose_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/interpose_test.cpp.o.d"
+  "/root/repo/tests/hv/ipc_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/ipc_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/ipc_test.cpp.o.d"
+  "/root/repo/tests/hv/irq_queue_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/irq_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/irq_queue_test.cpp.o.d"
+  "/root/repo/tests/hv/overhead_model_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/overhead_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/overhead_model_test.cpp.o.d"
+  "/root/repo/tests/hv/restart_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/restart_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/restart_test.cpp.o.d"
+  "/root/repo/tests/hv/sampling_port_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/sampling_port_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/sampling_port_test.cpp.o.d"
+  "/root/repo/tests/hv/tdma_scheduler_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/tdma_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/tdma_scheduler_test.cpp.o.d"
+  "/root/repo/tests/hv/vint_test.cpp" "tests/CMakeFiles/test_hv.dir/hv/vint_test.cpp.o" "gcc" "tests/CMakeFiles/test_hv.dir/hv/vint_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rthv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/rthv_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/rthv_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rthv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rthv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/rthv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mon/CMakeFiles/rthv_mon.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/rthv_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rthv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hv.dir/hv/health_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/health_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/hypercall_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/hypercall_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/hypervisor_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/hypervisor_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/interpose_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/interpose_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/ipc_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/ipc_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/irq_queue_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/irq_queue_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/overhead_model_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/overhead_model_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/restart_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/restart_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/sampling_port_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/sampling_port_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/tdma_scheduler_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/tdma_scheduler_test.cpp.o.d"
+  "CMakeFiles/test_hv.dir/hv/vint_test.cpp.o"
+  "CMakeFiles/test_hv.dir/hv/vint_test.cpp.o.d"
+  "test_hv"
+  "test_hv.pdb"
+  "test_hv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

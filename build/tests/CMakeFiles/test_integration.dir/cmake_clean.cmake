@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/analysis_vs_sim_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/analysis_vs_sim_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/fuzz_invariants_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/fuzz_invariants_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/independence_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/independence_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/multislot_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/multislot_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/scenario_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/scenario_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/task_wcrt_vs_sim_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/task_wcrt_vs_sim_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

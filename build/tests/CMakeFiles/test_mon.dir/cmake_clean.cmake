@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mon.dir/mon/learning_monitor_test.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/learning_monitor_test.cpp.o.d"
+  "CMakeFiles/test_mon.dir/mon/monitor_property_test.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/monitor_property_test.cpp.o.d"
+  "CMakeFiles/test_mon.dir/mon/monitor_test.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/monitor_test.cpp.o.d"
+  "CMakeFiles/test_mon.dir/mon/token_bucket_monitor_test.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/token_bucket_monitor_test.cpp.o.d"
+  "CMakeFiles/test_mon.dir/mon/window_count_monitor_test.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/window_count_monitor_test.cpp.o.d"
+  "test_mon"
+  "test_mon.pdb"
+  "test_mon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
