@@ -7,12 +7,22 @@
 //     trades average latency for a smaller interference bound (Eq. 14).
 //  3. Context-switch cost: interposing pays 2 * C_ctx per IRQ (Eq. 13), so
 //     its benefit shrinks on platforms with expensive switches.
+//
+// Every row of every table is an independent simulation; with `--jobs N`
+// the rows are sharded over N worker threads. Row seeds are fixed per row,
+// results are collected in row order, so the printed tables are
+// bit-identical for any job count.
+//
+// usage: ablation_sweeps [--jobs N]
 #include <iostream>
+#include <vector>
 
 #include "analysis/irq_latency.hpp"
 #include "analysis/slot_table.hpp"
 #include "core/analysis_facade.hpp"
 #include "core/hypervisor_system.hpp"
+#include "exp/cli.hpp"
+#include "exp/sweep_runner.hpp"
 #include "mon/token_bucket_monitor.hpp"
 #include "mon/window_count_monitor.hpp"
 #include "hv/overhead_model.hpp"
@@ -50,9 +60,14 @@ Duration c_bh_eff_of(const core::SystemConfig& cfg) {
   return oh.effective_bottom_cost(cfg.sources[0].c_bottom);
 }
 
+using Row = std::vector<std::string>;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = exp::parse_cli(argc, argv);
+  exp::SweepRunner runner(cli.jobs);
+
   constexpr std::size_t kIrqs = 2000;
   const auto base = core::SystemConfig::paper_baseline();
   const Duration c_bh_eff = c_bh_eff_of(base);
@@ -62,20 +77,24 @@ int main() {
   std::cout << "=== Ablation 1: TDMA cycle length (10% load, conforming arrivals) ===\n";
   stats::Table t1({"cycle [us]", "unmon avg [us]", "unmon max [us]", "unmon ctx/s",
                    "interposed avg [us]", "interposed max [us]"});
-  for (const int scale : {1, 2, 4}) {
-    auto cfg = base;
-    for (auto& p : cfg.partitions) p.slot_length = p.slot_length * scale;
-    const auto unmon = run(cfg, lambda, lambda, kIrqs, 100);
-    auto mon_cfg = cfg;
-    mon_cfg.mode = hv::TopHandlerMode::kInterposing;
-    mon_cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
-    mon_cfg.sources[0].d_min = lambda;
-    const auto mon = run(mon_cfg, lambda, lambda, kIrqs, 100);
-    const double span_s = static_cast<double>(kIrqs) * lambda.as_s();
-    t1.add_row({stats::Table::num(cfg.tdma_cycle().as_us(), 0),
-                stats::Table::num(unmon.avg.as_us()), stats::Table::num(unmon.max.as_us()),
-                stats::Table::num(static_cast<double>(unmon.ctx_switches) / span_s, 0),
-                stats::Table::num(mon.avg.as_us()), stats::Table::num(mon.max.as_us())});
+  {
+    const std::vector<int> scales = {1, 2, 4};
+    const auto rows = runner.map(scales.size(), [&](std::size_t i) -> Row {
+      auto cfg = base;
+      for (auto& p : cfg.partitions) p.slot_length = p.slot_length * scales[i];
+      const auto unmon = run(cfg, lambda, lambda, kIrqs, 100);
+      auto mon_cfg = cfg;
+      mon_cfg.mode = hv::TopHandlerMode::kInterposing;
+      mon_cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+      mon_cfg.sources[0].d_min = lambda;
+      const auto mon = run(mon_cfg, lambda, lambda, kIrqs, 100);
+      const double span_s = static_cast<double>(kIrqs) * lambda.as_s();
+      return {stats::Table::num(cfg.tdma_cycle().as_us(), 0),
+              stats::Table::num(unmon.avg.as_us()), stats::Table::num(unmon.max.as_us()),
+              stats::Table::num(static_cast<double>(unmon.ctx_switches) / span_s, 0),
+              stats::Table::num(mon.avg.as_us()), stats::Table::num(mon.max.as_us())};
+    });
+    for (const auto& row : rows) t1.add_row(row);
   }
   t1.write(std::cout);
   std::cout << "expectation: unmonitored latency scales with the cycle; interposed "
@@ -85,19 +104,24 @@ int main() {
   std::cout << "=== Ablation 2: monitoring distance d_min (10% load, exponential) ===\n";
   stats::Table t2({"d_min / lambda", "avg [us]", "max [us]", "interposed",
                    "interference bound / cycle [us]"});
-  for (const double ratio : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    auto cfg = base;
-    cfg.mode = hv::TopHandlerMode::kInterposing;
-    cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
-    const auto d_min =
-        Duration::ns(static_cast<std::int64_t>(static_cast<double>(lambda.count_ns()) * ratio));
-    cfg.sources[0].d_min = d_min;
-    const auto out = run(cfg, lambda, Duration::zero(), kIrqs, 200);
-    const auto bound = analysis::interposed_interference(cfg.tdma_cycle(), d_min, c_bh_eff);
-    t2.add_row({stats::Table::num(ratio, 2), stats::Table::num(out.avg.as_us()),
-                stats::Table::num(out.max.as_us()),
-                stats::Table::num(out.interposed_frac * 100) + "%",
-                stats::Table::num(bound.as_us())});
+  {
+    const std::vector<double> ratios = {0.25, 0.5, 1.0, 2.0, 4.0};
+    const auto rows = runner.map(ratios.size(), [&](std::size_t i) -> Row {
+      const double ratio = ratios[i];
+      auto cfg = base;
+      cfg.mode = hv::TopHandlerMode::kInterposing;
+      cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+      const auto d_min =
+          Duration::ns(static_cast<std::int64_t>(static_cast<double>(lambda.count_ns()) * ratio));
+      cfg.sources[0].d_min = d_min;
+      const auto out = run(cfg, lambda, Duration::zero(), kIrqs, 200);
+      const auto bound = analysis::interposed_interference(cfg.tdma_cycle(), d_min, c_bh_eff);
+      return {stats::Table::num(ratio, 2), stats::Table::num(out.avg.as_us()),
+              stats::Table::num(out.max.as_us()),
+              stats::Table::num(out.interposed_frac * 100) + "%",
+              stats::Table::num(bound.as_us())};
+    });
+    for (const auto& row : rows) t2.add_row(row);
   }
   t2.write(std::cout);
   std::cout << "expectation: smaller d_min admits more interposing (lower average) at "
@@ -107,27 +131,32 @@ int main() {
   std::cout << "=== Ablation 3: context-switch cost (conforming, d_min = lambda) ===\n";
   stats::Table t3({"C_ctx [us]", "C'_BH [us]", "interposed avg [us]", "unmon avg [us]",
                    "speedup"});
-  for (const std::uint64_t instr : {1000u, 5000u, 20000u, 50000u}) {
-    auto cfg = base;
-    cfg.platform.ctx_invalidate_instructions = instr;
-    cfg.platform.ctx_writeback_cycles = instr;
-    const Duration eff = c_bh_eff_of(cfg);
-    // Keep the load definition consistent with the platform's C'_BH.
-    const auto lam = Duration::ns(eff.count_ns() * 10);
-    auto mon_cfg = cfg;
-    mon_cfg.mode = hv::TopHandlerMode::kInterposing;
-    mon_cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
-    mon_cfg.sources[0].d_min = lam;
-    const auto mon = run(mon_cfg, lam, lam, kIrqs, 300);
-    const auto unmon = run(cfg, lam, lam, kIrqs, 300);
-    const double speedup = static_cast<double>(unmon.avg.count_ns()) /
-                           static_cast<double>(mon.avg.count_ns());
-    const hw::CpuModel cpu(cfg.platform.cpu_freq_hz, cfg.platform.cpi_milli);
-    t3.add_row({stats::Table::num(
-                    (cpu.instructions_to_duration(instr) + cpu.cycles_to_duration(instr))
-                        .as_us()),
-                stats::Table::num(eff.as_us()), stats::Table::num(mon.avg.as_us()),
-                stats::Table::num(unmon.avg.as_us()), stats::Table::num(speedup, 2) + "x"});
+  {
+    const std::vector<std::uint64_t> instrs = {1000, 5000, 20000, 50000};
+    const auto rows = runner.map(instrs.size(), [&](std::size_t i) -> Row {
+      const std::uint64_t instr = instrs[i];
+      auto cfg = base;
+      cfg.platform.ctx_invalidate_instructions = instr;
+      cfg.platform.ctx_writeback_cycles = instr;
+      const Duration eff = c_bh_eff_of(cfg);
+      // Keep the load definition consistent with the platform's C'_BH.
+      const auto lam = Duration::ns(eff.count_ns() * 10);
+      auto mon_cfg = cfg;
+      mon_cfg.mode = hv::TopHandlerMode::kInterposing;
+      mon_cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+      mon_cfg.sources[0].d_min = lam;
+      const auto mon = run(mon_cfg, lam, lam, kIrqs, 300);
+      const auto unmon = run(cfg, lam, lam, kIrqs, 300);
+      const double speedup = static_cast<double>(unmon.avg.count_ns()) /
+                             static_cast<double>(mon.avg.count_ns());
+      const hw::CpuModel cpu(cfg.platform.cpu_freq_hz, cfg.platform.cpi_milli);
+      return {stats::Table::num(
+                  (cpu.instructions_to_duration(instr) + cpu.cycles_to_duration(instr))
+                      .as_us()),
+              stats::Table::num(eff.as_us()), stats::Table::num(mon.avg.as_us()),
+              stats::Table::num(unmon.avg.as_us()), stats::Table::num(speedup, 2) + "x"};
+    });
+    for (const auto& row : rows) t3.add_row(row);
   }
   t3.write(std::cout);
   std::cout << "expectation: the interposing benefit shrinks as context switches get "
@@ -145,7 +174,7 @@ int main() {
     const workload::Trace trace = workload::Trace::from_activations(events);
     const Duration interval = lambda;  // same long-term admitted rate for both
 
-    for (const int shaper : {0, 1, 2}) {
+    const auto rows = runner.map(3, [&](std::size_t shaper) -> Row {
       auto cfg = base;
       cfg.mode = hv::TopHandlerMode::kInterposing;
       cfg.sources[0].d_min = interval;
@@ -172,18 +201,21 @@ int main() {
                                                  c_bh_eff);
           label = "window counter (2 per 2*d_min)";
           break;
+        default:
+          break;
       }
       core::HypervisorSystem system(cfg);
       system.attach_trace(0, trace);
       system.run(Duration::s(600));
-      t4.add_row({label,
-                  stats::Table::num(system.recorder().all().mean().as_us()),
-                  stats::Table::num(system.recorder().all().max().as_us()),
-                  stats::Table::num(
-                      system.recorder().fraction(stats::HandlingClass::kInterposed) *
-                      100) + "%",
-                  stats::Table::num(bound.as_us())});
-    }
+      return {label,
+              stats::Table::num(system.recorder().all().mean().as_us()),
+              stats::Table::num(system.recorder().all().max().as_us()),
+              stats::Table::num(
+                  system.recorder().fraction(stats::HandlingClass::kInterposed) *
+                  100) + "%",
+              stats::Table::num(bound.as_us())};
+    });
+    for (const auto& row : rows) t4.add_row(row);
   }
   t4.write(std::cout);
   std::cout << "expectation: the token bucket admits whole bursts (lower average on "
@@ -195,52 +227,57 @@ int main() {
   std::cout << "=== Ablation 5: interference from other IRQ sources' top handlers ===\n";
   stats::Table t5({"interferer rate [1/s]", "analytic interposed WCRT [us]",
                    "simulated interposed max [us]"});
-  for (const std::int64_t interferer_d_us : {0, 2000, 500, 200}) {
-    auto cfg = base;
-    cfg.mode = hv::TopHandlerMode::kInterposing;
-    cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
-    cfg.sources[0].d_min = lambda;
-    std::vector<analysis::IrqSourceModel> others;
-    if (interferer_d_us > 0) {
-      core::IrqSourceSpec noise;
-      noise.name = "noise";
-      noise.subscriber = 0;  // partition 1: never the analyzed subscriber
-      noise.c_top = Duration::us(5);
-      noise.c_bottom = Duration::us(10);
-      cfg.sources.push_back(noise);
-      others.push_back(analysis::IrqSourceModel{
-          analysis::make_sporadic(Duration::us(interferer_d_us)), noise.c_top,
-          noise.c_bottom});
-    }
-    const core::AnalysisFacade facade(cfg);
-    const auto bound = analysis::interposed_latency(
-        facade.source_model(0, analysis::make_sporadic(lambda)), others,
-        facade.overhead_times());
-
-    core::HypervisorSystem system(cfg);
-    system.keep_completions(true);
-    workload::ExponentialTraceGenerator gen(lambda, 500, lambda);
-    system.attach_trace(0, gen.generate(1000));
-    if (interferer_d_us > 0) {
-      workload::ExponentialTraceGenerator noise_gen(
-          Duration::us(interferer_d_us), 501, Duration::us(interferer_d_us));
-      system.attach_trace(1, noise_gen.generate(
-          static_cast<std::size_t>(1000 * lambda.count_ns() / (interferer_d_us * 1000))));
-    }
-    system.run(Duration::s(600));
-    Duration max_interposed = Duration::zero();
-    for (const auto& rec : system.completions()) {
-      if (rec.source == 0 && rec.handling == stats::HandlingClass::kInterposed) {
-        max_interposed = std::max(max_interposed, rec.latency());
+  {
+    const std::vector<std::int64_t> interferer_d_us_list = {0, 2000, 500, 200};
+    const auto rows = runner.map(interferer_d_us_list.size(), [&](std::size_t i) -> Row {
+      const std::int64_t interferer_d_us = interferer_d_us_list[i];
+      auto cfg = base;
+      cfg.mode = hv::TopHandlerMode::kInterposing;
+      cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+      cfg.sources[0].d_min = lambda;
+      std::vector<analysis::IrqSourceModel> others;
+      if (interferer_d_us > 0) {
+        core::IrqSourceSpec noise;
+        noise.name = "noise";
+        noise.subscriber = 0;  // partition 1: never the analyzed subscriber
+        noise.c_top = Duration::us(5);
+        noise.c_bottom = Duration::us(10);
+        cfg.sources.push_back(noise);
+        others.push_back(analysis::IrqSourceModel{
+            analysis::make_sporadic(Duration::us(interferer_d_us)), noise.c_top,
+            noise.c_bottom});
       }
-    }
-    const std::string rate_cell =
-        interferer_d_us == 0
-            ? std::string("none")
-            : stats::Table::num(1e6 / static_cast<double>(interferer_d_us), 0);
-    const std::string bound_cell =
-        bound ? stats::Table::num(bound->worst_case.as_us()) : std::string("diverges");
-    t5.add_row({rate_cell, bound_cell, stats::Table::num(max_interposed.as_us())});
+      const core::AnalysisFacade facade(cfg);
+      const auto bound = analysis::interposed_latency(
+          facade.source_model(0, analysis::make_sporadic(lambda)), others,
+          facade.overhead_times());
+
+      core::HypervisorSystem system(cfg);
+      system.keep_completions(true);
+      workload::ExponentialTraceGenerator gen(lambda, 500, lambda);
+      system.attach_trace(0, gen.generate(1000));
+      if (interferer_d_us > 0) {
+        workload::ExponentialTraceGenerator noise_gen(
+            Duration::us(interferer_d_us), 501, Duration::us(interferer_d_us));
+        system.attach_trace(1, noise_gen.generate(
+            static_cast<std::size_t>(1000 * lambda.count_ns() / (interferer_d_us * 1000))));
+      }
+      system.run(Duration::s(600));
+      Duration max_interposed = Duration::zero();
+      for (const auto& rec : system.completions()) {
+        if (rec.source == 0 && rec.handling == stats::HandlingClass::kInterposed) {
+          max_interposed = std::max(max_interposed, rec.latency());
+        }
+      }
+      const std::string rate_cell =
+          interferer_d_us == 0
+              ? std::string("none")
+              : stats::Table::num(1e6 / static_cast<double>(interferer_d_us), 0);
+      const std::string bound_cell =
+          bound ? stats::Table::num(bound->worst_case.as_us()) : std::string("diverges");
+      return {rate_cell, bound_cell, stats::Table::num(max_interposed.as_us())};
+    });
+    for (const auto& row : rows) t5.add_row(row);
   }
   t5.write(std::cout);
   std::cout << "expectation: other sources' top handlers add eta_j(W) * C_THj to the "
@@ -262,7 +299,22 @@ int main() {
     const hv::OverheadModel oh_model(cpu, mem, base.overheads);
     const Duration entry_oh = oh_model.tdma_tick_cost() + oh_model.context_switch_cost();
 
-    for (const std::uint32_t parts : {1u, 2u, 4u}) {
+    // Jobs 0..2: split schedules; job 3: the interposing reference row.
+    const std::vector<std::uint32_t> parts_list = {1, 2, 4};
+    const auto rows = runner.map(parts_list.size() + 1, [&](std::size_t i) -> Row {
+      if (i == parts_list.size()) {
+        // Interposing reference row (single-slot schedule, monitored).
+        auto mon_cfg = base;
+        mon_cfg.mode = hv::TopHandlerMode::kInterposing;
+        mon_cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+        mon_cfg.sources[0].d_min = lambda;
+        const auto mon = run(mon_cfg, lambda, lambda, kIrqs, 600);
+        const double span_s = static_cast<double>(kIrqs) * lambda.as_s();
+        return {"1 + interposing", "150.0 (Eq. 16)", stats::Table::num(mon.avg.as_us()),
+                stats::Table::num(mon.max.as_us()),
+                stats::Table::num(static_cast<double>(mon.ctx_switches) / span_s, 0)};
+      }
+      const std::uint32_t parts = parts_list[i];
       auto cfg = base;
       // Split every partition's slot into `parts` interleaved pieces,
       // preserving the 14000us cycle and each partition's 6000/6000/2000us
@@ -292,22 +344,12 @@ int main() {
 
       const auto out = run(cfg, lambda, lambda, kIrqs, 600);
       const double span_s = static_cast<double>(kIrqs) * lambda.as_s();
-      t6.add_row({std::to_string(parts),
-                  bound ? stats::Table::num(bound->worst_case.as_us()) : "diverges",
-                  stats::Table::num(out.avg.as_us()), stats::Table::num(out.max.as_us()),
-                  stats::Table::num(static_cast<double>(out.ctx_switches) / span_s, 0)});
-    }
-
-    // Interposing reference row (single-slot schedule, monitored).
-    auto mon_cfg = base;
-    mon_cfg.mode = hv::TopHandlerMode::kInterposing;
-    mon_cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
-    mon_cfg.sources[0].d_min = lambda;
-    const auto mon = run(mon_cfg, lambda, lambda, kIrqs, 600);
-    const double span_s = static_cast<double>(kIrqs) * lambda.as_s();
-    t6.add_row({"1 + interposing", "150.0 (Eq. 16)", stats::Table::num(mon.avg.as_us()),
-                stats::Table::num(mon.max.as_us()),
-                stats::Table::num(static_cast<double>(mon.ctx_switches) / span_s, 0)});
+      return {std::to_string(parts),
+              bound ? stats::Table::num(bound->worst_case.as_us()) : "diverges",
+              stats::Table::num(out.avg.as_us()), stats::Table::num(out.max.as_us()),
+              stats::Table::num(static_cast<double>(out.ctx_switches) / span_s, 0)};
+    });
+    for (const auto& row : rows) t6.add_row(row);
   }
   t6.write(std::cout);
   std::cout << "expectation: splitting shrinks the delayed worst case roughly by the "

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "exp/run_result.hpp"
+#include "exp/sweep_runner.hpp"
 #include "hv/overhead_model.hpp"
 #include "stats/export.hpp"
 #include "stats/table.hpp"
@@ -37,37 +39,44 @@ Fig6Result run_fig6(const Fig6Config& config) {
     base.sources[0].d_min = d_min;
   }
 
+  const Duration hist_lo = Duration::zero();
+  const Duration hist_hi = Duration::us(8500);
+  const Duration hist_bin = Duration::us(100);
+
+  // One independent run per load step. Each run's seed depends only on its
+  // index (config.seed + i, the original sequential seed sequence), so the
+  // merged result is bit-identical for any job count.
+  exp::SweepRunner runner(config.jobs);
+  auto runs = runner.map(config.load_percent.size(), [&](std::size_t i) {
+    core::HypervisorSystem system(base);
+    const int load = config.load_percent[i];
+    const auto lambda = Duration::ns(c_bh_eff.count_ns() * 100 / load);
+    workload::ExponentialTraceGenerator gen(
+        lambda, config.seed + i, config.enforce_floor ? d_min : Duration::zero());
+    system.attach_trace(0, gen.generate(config.irqs_per_load));
+    system.keep_completions(true);
+    system.run(Duration::s(1000));
+    auto out = exp::RunResult::capture(system);
+    out.fill_histogram(hist_lo, hist_hi, hist_bin);
+    return out;
+  });
+
   Fig6Result result{.recorder = {},
-                    .histogram = stats::Histogram(Duration::zero(), Duration::us(8500),
-                                                  Duration::us(100)),
+                    .histogram = stats::Histogram(hist_lo, hist_hi, hist_bin),
                     .per_load = {},
                     .d_min = d_min,
                     .c_bh_eff = c_bh_eff};
 
-  std::uint64_t seed = config.seed;
-  for (const int load : config.load_percent) {
-    core::HypervisorSystem system(base);
-    const auto lambda = Duration::ns(c_bh_eff.count_ns() * 100 / load);
-    workload::ExponentialTraceGenerator gen(
-        lambda, seed++, config.enforce_floor ? d_min : Duration::zero());
-    system.attach_trace(0, gen.generate(config.irqs_per_load));
-    system.keep_completions(true);
-    system.run(Duration::s(1000));
-
-    stats::LatencyRecorder load_recorder;
-    for (const auto& rec : system.completions()) {
-      result.recorder.record(rec.handling, rec.latency());
-      load_recorder.record(rec.handling, rec.latency());
-      result.histogram.add(rec.latency());
-    }
-    result.per_load.push_back(std::move(load_recorder));
-
-    const auto& ctx = system.hypervisor().context_switches();
-    result.tdma_switches += ctx.tdma;
-    result.interpose_switches += ctx.interpose_enter + ctx.interpose_return;
-    result.deferred_switches += system.hypervisor().irq_stats().deferred_slot_switches;
-    result.denied_by_monitor += system.hypervisor().irq_stats().denied_by_monitor;
-    result.lost_raises += system.platform().intc().lost_raises();
+  // Merge in load order: cumulative statistics match the sequential run.
+  for (auto& run : runs) {
+    result.per_load.push_back(run.recorder);
+    result.histogram.merge(*run.histogram);
+    result.recorder.merge(run.recorder);
+    result.tdma_switches += run.tdma_switches;
+    result.interpose_switches += run.interpose_switches;
+    result.deferred_switches += run.deferred_switches;
+    result.denied_by_monitor += run.denied_by_monitor;
+    result.lost_raises += run.lost_raises;
   }
   return result;
 }

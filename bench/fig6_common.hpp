@@ -26,6 +26,7 @@ struct Fig6Config {
   std::size_t irqs_per_load = 5000;
   std::vector<int> load_percent = {1, 5, 10};
   std::uint64_t seed = 2014;     // DAC'14
+  std::size_t jobs = 1;          // worker threads; results identical for any value
 };
 
 struct Fig6Result {

@@ -3,18 +3,26 @@
 // Paper result (shape): ~40 % direct IRQs below ~50 us, ~60 % delayed IRQs
 // approximately uniform in (0, T_TDMA - T_i] = (0, 8000 us]; average
 // latency ~2500 us over 15000 IRQs; worst case ~8000 us.
+//
+// usage: fig6a_unmonitored [--jobs N] [export-dir]
 #include <iostream>
 
+#include "exp/cli.hpp"
 #include "fig6_common.hpp"
 
 int main(int argc, char** argv) {
+  const auto cli = rthv::exp::parse_cli(argc, argv);
   rthv::bench::Fig6Config config;
   config.monitored = false;
   config.enforce_floor = false;
+  config.jobs = cli.jobs;
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6a -- monitoring disabled", config,
                                  result);
-  if (argc > 1) rthv::bench::export_fig6(argv[1], "fig6a", "Fig. 6a -- monitoring disabled", result);
+  if (!cli.positional.empty()) {
+    rthv::bench::export_fig6(cli.positional[0], "fig6a", "Fig. 6a -- monitoring disabled",
+                             result);
+  }
   std::cout << "paper reference: direct ~40% (<=50us), delayed ~60% (uniform up to "
                "8000us), average ~2500us\n";
   return 0;

@@ -4,18 +4,26 @@
 // Paper result (shape): direct ~40 %, interposed ~40 %, delayed ~20 %;
 // average ~1200 us; the worst case is still defined by the TDMA cycle
 // (identical to the unmonitored case) because violating IRQs are delayed.
+//
+// usage: fig6b_monitored [--jobs N] [export-dir]
 #include <iostream>
 
+#include "exp/cli.hpp"
 #include "fig6_common.hpp"
 
 int main(int argc, char** argv) {
+  const auto cli = rthv::exp::parse_cli(argc, argv);
   rthv::bench::Fig6Config config;
   config.monitored = true;
   config.enforce_floor = false;
+  config.jobs = cli.jobs;
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6b -- monitoring enabled", config,
                                  result);
-  if (argc > 1) rthv::bench::export_fig6(argv[1], "fig6b", "Fig. 6b -- monitoring enabled", result);
+  if (!cli.positional.empty()) {
+    rthv::bench::export_fig6(cli.positional[0], "fig6b", "Fig. 6b -- monitoring enabled",
+                             result);
+  }
   std::cout << "paper reference: direct ~40%, interposed ~40%, delayed ~20%, average "
                "~1200us, worst case still TDMA-bound\n";
   return 0;

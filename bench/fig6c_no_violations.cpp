@@ -4,20 +4,25 @@
 // Paper result (shape): direct ~40 %, interposed ~60 %, no delayed IRQs;
 // average ~150 us (~16x better than Fig. 6a); worst-case latencies are no
 // longer defined by the TDMA cycle length.
+//
+// usage: fig6c_no_violations [--jobs N] [export-dir]
 #include <iostream>
 
+#include "exp/cli.hpp"
 #include "fig6_common.hpp"
 #include "stats/table.hpp"
 
 int main(int argc, char** argv) {
+  const auto cli = rthv::exp::parse_cli(argc, argv);
   rthv::bench::Fig6Config config;
   config.monitored = true;
   config.enforce_floor = true;
+  config.jobs = cli.jobs;
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6c -- monitoring enabled, no violations",
                                  config, result);
-  if (argc > 1) {
-    rthv::bench::export_fig6(argv[1], "fig6c",
+  if (!cli.positional.empty()) {
+    rthv::bench::export_fig6(cli.positional[0], "fig6c",
                              "Fig. 6c -- monitoring enabled, no violations", result);
   }
 

@@ -73,6 +73,72 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
 
+// Steady-state schedule+pop with a large pending set (heap depth log n).
+// Arg = number of events already pending.
+void BM_EventQueueScheduleAndPopPending(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  queue.reserve(pending + 1);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    t += 1000;
+    queue.schedule(TimePoint::at_ns(t), [] {});
+  }
+  for (auto _ : state) {
+    t += 1000;
+    queue.schedule(TimePoint::at_ns(t), [] {});
+    benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPopPending)->Arg(1000)->Arg(100000);
+
+// Schedule an event and cancel it again while `pending` other events are
+// live -- the hypervisor's preemption pattern (every IRQ entry cancels the
+// running work unit's completion event). Arg = pending events.
+void BM_EventQueueScheduleAndCancel(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  queue.reserve(pending + 1);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    t += 1000;
+    queue.schedule(TimePoint::at_ns(t), [] {});
+  }
+  for (auto _ : state) {
+    t += 1000;
+    const sim::EventId id = queue.schedule(TimePoint::at_ns(t), [] {});
+    benchmark::DoNotOptimize(queue.cancel(id));
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndCancel)->Arg(1000)->Arg(100000);
+
+// Mixed workload mirroring HypervisorSystem scheduling: each simulated IRQ
+// schedules a timer event and a work-unit completion, preempts (cancels)
+// the completion, reschedules the remainder and pops the next event --
+// with stateful capture payloads like the hypervisor's continuations.
+void BM_EventQueueMixedHvPattern(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::int64_t t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    t += 5000;
+    const auto timer = queue.schedule(TimePoint::at_ns(t + 1444), [&sink] { ++sink; });
+    const auto completion =
+        queue.schedule(TimePoint::at_ns(t + 40000), [&sink, t] {
+          sink += static_cast<std::uint64_t>(t);
+        });
+    queue.cancel(completion);  // IRQ entry preempts the running unit
+    queue.schedule(TimePoint::at_ns(t + 45000), [&sink, t] {
+      sink += static_cast<std::uint64_t>(t) + 1;
+    });
+    benchmark::DoNotOptimize(queue.pop());
+    queue.pop().callback();
+    benchmark::DoNotOptimize(timer);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueMixedHvPattern);
+
 void BM_BusyWindowSolve(benchmark::State& state) {
   analysis::BusyWindowProblem problem;
   problem.per_event_cost = Duration::us(40);

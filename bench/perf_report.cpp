@@ -1,0 +1,235 @@
+// Perf-regression harness (tentpole part 3).
+//
+// Runs a google-benchmark suite over the simulator's hot paths (event-queue
+// schedule/cancel/pop at several pending depths, the hypervisor-like mixed
+// pattern) plus full-system events/sec throughput probes, and writes the
+// results as BENCH_sim_throughput.json:
+//
+//   { "schema": "rthv-perf-v1", "git_rev": "...", "date": "...",
+//     "benchmarks": { "<name>": { "ns_per_op": ..., "events_per_sec": ... } } }
+//
+// The JSON at the repo root is the committed baseline; future PRs re-run
+// `cmake --build build --target perf_report_json` and diff against it.
+//
+// usage: perf_report [output.json] [--benchmark_* flags]
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/hypervisor_system.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/generators.hpp"
+
+using namespace rthv;
+using sim::Duration;
+using sim::TimePoint;
+
+namespace {
+
+// --- benchmark bodies -------------------------------------------------------
+
+void schedule_pop(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  queue.reserve(pending + 1);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    t += 1000;
+    queue.schedule(TimePoint::at_ns(t), [] {});
+  }
+  for (auto _ : state) {
+    t += 1000;
+    queue.schedule(TimePoint::at_ns(t), [] {});
+    benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void schedule_cancel(benchmark::State& state) {
+  const auto pending = static_cast<std::size_t>(state.range(0));
+  sim::EventQueue queue;
+  queue.reserve(pending + 1);
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < pending; ++i) {
+    t += 1000;
+    queue.schedule(TimePoint::at_ns(t), [] {});
+  }
+  for (auto _ : state) {
+    t += 1000;
+    const sim::EventId id = queue.schedule(TimePoint::at_ns(t), [] {});
+    benchmark::DoNotOptimize(queue.cancel(id));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void mixed_hv_pattern(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::int64_t t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    t += 5000;
+    queue.schedule(TimePoint::at_ns(t + 1444), [&sink] { ++sink; });
+    const auto completion = queue.schedule(TimePoint::at_ns(t + 40000), [&sink, t] {
+      sink += static_cast<std::uint64_t>(t);
+    });
+    queue.cancel(completion);
+    queue.schedule(TimePoint::at_ns(t + 45000), [&sink, t] {
+      sink += static_cast<std::uint64_t>(t) + 1;
+    });
+    benchmark::DoNotOptimize(queue.pop());
+    queue.pop().callback();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// Full-system probe: simulated events per wall-clock second for the paper's
+// monitored baseline. `items` are *simulator events*, the unit every other
+// subsystem's work is expressed in.
+void full_system_events(benchmark::State& state) {
+  constexpr std::size_t kIrqs = 2000;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    auto cfg = core::SystemConfig::paper_baseline();
+    cfg.mode = hv::TopHandlerMode::kInterposing;
+    cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+    cfg.sources[0].d_min = Duration::us(1444);
+    core::HypervisorSystem system(cfg);
+    workload::ExponentialTraceGenerator gen(Duration::us(1444), 7, Duration::us(1444));
+    system.attach_trace(0, gen.generate(kIrqs));
+    benchmark::DoNotOptimize(system.run(Duration::s(60)));
+    events += system.simulator().executed_events();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+void full_system_irqs(benchmark::State& state) {
+  constexpr std::size_t kIrqs = 2000;
+  std::uint64_t irqs = 0;
+  for (auto _ : state) {
+    auto cfg = core::SystemConfig::paper_baseline();
+    cfg.mode = hv::TopHandlerMode::kInterposing;
+    cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+    cfg.sources[0].d_min = Duration::us(1444);
+    core::HypervisorSystem system(cfg);
+    workload::ExponentialTraceGenerator gen(Duration::us(1444), 7, Duration::us(1444));
+    system.attach_trace(0, gen.generate(kIrqs));
+    irqs += system.run(Duration::s(60));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
+}
+
+// --- result collection ------------------------------------------------------
+
+struct Measurement {
+  double ns_per_op = 0.0;
+  double events_per_sec = 0.0;
+};
+
+class CollectingReporter : public benchmark::BenchmarkReporter {
+ public:
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      Measurement m;
+      // Always in nanoseconds, independent of the benchmark's display unit.
+      m.ns_per_op = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) m.events_per_sec = it->second;
+      results_[run.benchmark_name()] = m;
+    }
+  }
+
+  [[nodiscard]] const std::map<std::string, Measurement>& results() const {
+    return results_;
+  }
+
+ private:
+  std::map<std::string, Measurement> results_;
+};
+
+std::string shell_line(const char* cmd) {
+  std::string out;
+  if (FILE* pipe = popen(cmd, "r")) {
+    char buf[256];
+    if (fgets(buf, sizeof(buf), pipe) != nullptr) out = buf;
+    pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out;
+}
+
+std::string utc_now() {
+  const std::time_t now = std::time(nullptr);
+  char buf[32];
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+void write_json(const std::string& path,
+                const std::map<std::string, Measurement>& results) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "perf_report: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  const std::string rev = shell_line("git rev-parse --short HEAD 2>/dev/null");
+  os << "{\n";
+  os << "  \"schema\": \"rthv-perf-v1\",\n";
+  os << "  \"git_rev\": \"" << (rev.empty() ? "unknown" : rev) << "\",\n";
+  os << "  \"date\": \"" << utc_now() << "\",\n";
+  os << "  \"benchmarks\": {\n";
+  std::size_t i = 0;
+  for (const auto& [name, m] : results) {
+    os << "    \"" << name << "\": { \"ns_per_op\": " << m.ns_per_op
+       << ", \"events_per_sec\": " << m.events_per_sec << " }"
+       << (++i < results.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string output = "BENCH_sim_throughput.json";
+  // First non --benchmark_* argument is the output path.
+  std::vector<char*> bench_args{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).starts_with("--")) {
+      bench_args.push_back(argv[i]);
+    } else {
+      output = argv[i];
+    }
+  }
+
+  benchmark::RegisterBenchmark("event_queue/schedule_pop", schedule_pop)
+      ->Arg(0)->Arg(1000)->Arg(100000);
+  benchmark::RegisterBenchmark("event_queue/schedule_cancel", schedule_cancel)
+      ->Arg(1000)->Arg(100000);
+  benchmark::RegisterBenchmark("event_queue/mixed_hv_pattern", mixed_hv_pattern);
+  benchmark::RegisterBenchmark("full_system/events", full_system_events)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("full_system/irqs", full_system_irqs)
+      ->Unit(benchmark::kMillisecond);
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  write_json(output, reporter.results());
+  std::cout << "wrote " << output << "\n";
+  return 0;
+}

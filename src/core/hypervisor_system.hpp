@@ -39,8 +39,11 @@ class HypervisorSystem {
 
   // --- access ---------------------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
   [[nodiscard]] hw::Platform& platform() { return *platform_; }
+  [[nodiscard]] const hw::Platform& platform() const { return *platform_; }
   [[nodiscard]] hv::Hypervisor& hypervisor() { return *hv_; }
+  [[nodiscard]] const hv::Hypervisor& hypervisor() const { return *hv_; }
   [[nodiscard]] guest::GuestKernel& guest(std::uint32_t partition_index) {
     return *guests_.at(partition_index);
   }

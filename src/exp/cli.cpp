@@ -1,0 +1,47 @@
+#include "exp/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "exp/thread_pool.hpp"
+
+namespace rthv::exp {
+
+namespace {
+
+[[noreturn]] void usage_error(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--jobs N|auto] [positional args...]\n", argv0);
+  std::exit(2);
+}
+
+std::size_t parse_jobs_value(std::string_view value, const char* argv0) {
+  if (value == "auto") return ThreadPool::hardware_jobs();
+  std::size_t jobs = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') usage_error(argv0);
+    jobs = jobs * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (value.empty() || jobs == 0) usage_error(argv0);
+  return jobs;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) usage_error(argv[0]);
+      options.jobs = parse_jobs_value(argv[++i], argv[0]);
+    } else if (arg.starts_with("--jobs=")) {
+      options.jobs = parse_jobs_value(arg.substr(7), argv[0]);
+    } else {
+      options.positional.emplace_back(arg);
+    }
+  }
+  return options;
+}
+
+}  // namespace rthv::exp

@@ -1,0 +1,24 @@
+// Tiny command-line parsing shared by the bench drivers.
+//
+// Recognises `--jobs N`, `--jobs=N` and `--jobs auto` (hardware
+// concurrency); everything else is returned as positional arguments in
+// order. Keeps the drivers' existing positional interfaces (e.g. an export
+// directory) intact.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rthv::exp {
+
+struct CliOptions {
+  std::size_t jobs = 1;
+  std::vector<std::string> positional;
+};
+
+/// Parses argv (past argv[0]). Exits with code 2 and a usage message on
+/// stderr for a malformed --jobs value.
+[[nodiscard]] CliOptions parse_cli(int argc, char** argv);
+
+}  // namespace rthv::exp

@@ -1,0 +1,50 @@
+#include "exp/run_result.hpp"
+
+#include <utility>
+
+#include "core/hypervisor_system.hpp"
+
+namespace rthv::exp {
+
+RunResult RunResult::capture(const core::HypervisorSystem& system) {
+  RunResult out;
+  out.recorder = system.recorder();
+  out.completions = system.completions();
+  out.completed = system.completed_bottom_handlers();
+  const auto& ctx = system.hypervisor().context_switches();
+  out.tdma_switches = ctx.tdma;
+  out.interpose_switches = ctx.interpose_enter + ctx.interpose_return;
+  const auto& irq = system.hypervisor().irq_stats();
+  out.deferred_switches = irq.deferred_slot_switches;
+  out.denied_by_monitor = irq.denied_by_monitor;
+  out.lost_raises = system.platform().intc().lost_raises();
+  return out;
+}
+
+void RunResult::fill_histogram(sim::Duration lo, sim::Duration hi,
+                               sim::Duration bin_width) {
+  histogram.emplace(lo, hi, bin_width);
+  for (const auto& rec : completions) histogram->add(rec.latency());
+}
+
+void RunResult::merge(RunResult&& other) {
+  recorder.merge(other.recorder);
+  if (other.histogram) {
+    if (histogram) {
+      histogram->merge(*other.histogram);
+    } else {
+      histogram = std::move(other.histogram);
+    }
+  }
+  completions.insert(completions.end(),
+                     std::make_move_iterator(other.completions.begin()),
+                     std::make_move_iterator(other.completions.end()));
+  completed += other.completed;
+  tdma_switches += other.tdma_switches;
+  interpose_switches += other.interpose_switches;
+  deferred_switches += other.deferred_switches;
+  denied_by_monitor += other.denied_by_monitor;
+  lost_raises += other.lost_raises;
+}
+
+}  // namespace rthv::exp

@@ -1,0 +1,45 @@
+// Aggregatable outcome of a single HypervisorSystem run.
+//
+// Parallel sweeps produce one RunResult per run; merge() folds them in run
+// order so the aggregate is independent of which thread finished first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hv/hypervisor.hpp"
+#include "stats/histogram.hpp"
+#include "stats/latency_recorder.hpp"
+
+namespace rthv::core {
+class HypervisorSystem;
+}
+
+namespace rthv::exp {
+
+struct RunResult {
+  stats::LatencyRecorder recorder;
+  std::optional<stats::Histogram> histogram;  // set by fill_histogram()
+  std::vector<hv::CompletedIrq> completions;  // only if keep_completions was on
+  std::uint64_t completed = 0;
+  std::uint64_t tdma_switches = 0;
+  std::uint64_t interpose_switches = 0;
+  std::uint64_t deferred_switches = 0;
+  std::uint64_t denied_by_monitor = 0;
+  std::uint64_t lost_raises = 0;
+
+  /// Snapshots recorder, counters and (if kept) completion records from a
+  /// finished run.
+  [[nodiscard]] static RunResult capture(const core::HypervisorSystem& system);
+
+  /// Builds `histogram` with the given binning from the kept completions.
+  void fill_histogram(sim::Duration lo, sim::Duration hi, sim::Duration bin_width);
+
+  /// Folds `other` into this result. Call in run-index order: recorder
+  /// samples and completion records are appended, so the merged sample
+  /// order equals the sequential run's order.
+  void merge(RunResult&& other);
+};
+
+}  // namespace rthv::exp

@@ -1,0 +1,22 @@
+// Deterministic per-run seed derivation for parallel experiment sweeps.
+//
+// Every run of a sweep gets `derive_seed(base_seed, run_index)`: a
+// SplitMix64-style avalanche over the pair, so neighbouring indices yield
+// uncorrelated generator streams and -- crucially -- the seed of run i
+// depends only on (base_seed, i), never on scheduling order or thread
+// count. This is what makes `--jobs N` bit-identical to `--jobs 1`.
+#pragma once
+
+#include <cstdint>
+
+namespace rthv::exp {
+
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base_seed,
+                                                  std::uint64_t run_index) {
+  std::uint64_t z = base_seed ^ (0x9e37'79b9'7f4a'7c15ULL * (run_index + 1));
+  z = (z ^ (z >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d0'49bb'1331'11ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rthv::exp

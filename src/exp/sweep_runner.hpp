@@ -1,0 +1,85 @@
+// Deterministic parallel map over independent experiment runs.
+//
+// SweepRunner::map(count, fn) evaluates fn(0) .. fn(count-1), sharded over
+// a ThreadPool when jobs > 1, and returns the results ordered by run index.
+// Because each run's inputs (config, seed via derive_seed()) depend only on
+// its index, and results are merged in index order, the output is
+// bit-identical for any job count -- `--jobs 8` is a pure wall-clock
+// optimization.
+//
+// Requirements on fn: invoking fn(i) concurrently from multiple threads
+// must be safe (treat captured state as read-only; construct simulators and
+// generators locally inside the call).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exp/thread_pool.hpp"
+
+namespace rthv::exp {
+
+class SweepRunner {
+ public:
+  /// `jobs` == 0 is treated as 1 (fully sequential, no pool is created).
+  explicit SweepRunner(std::size_t jobs) : jobs_(jobs == 0 ? 1 : jobs) {}
+
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  template <typename Fn>
+  auto map(std::size_t count, Fn fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<std::optional<R>> produced(count);
+
+    if (jobs_ <= 1 || count <= 1) {
+      for (std::size_t i = 0; i < count; ++i) produced[i].emplace(fn(i));
+    } else {
+      std::mutex mutex;
+      std::condition_variable all_done;
+      std::size_t remaining = count;
+      std::size_t first_error_index = count;
+      std::exception_ptr first_error;
+      {
+        ThreadPool pool(std::min(jobs_, count));
+        for (std::size_t i = 0; i < count; ++i) {
+          pool.submit([&, i] {
+            std::exception_ptr error;
+            try {
+              produced[i].emplace(fn(i));
+            } catch (...) {
+              error = std::current_exception();
+            }
+            const std::lock_guard<std::mutex> lock(mutex);
+            if (error && i < first_error_index) {
+              first_error_index = i;
+              first_error = error;
+            }
+            if (--remaining == 0) all_done.notify_one();
+          });
+        }
+        std::unique_lock<std::mutex> lock(mutex);
+        all_done.wait(lock, [&] { return remaining == 0; });
+      }
+      // Deterministic error reporting: rethrow the lowest-index failure,
+      // matching what a sequential run would have thrown first.
+      if (first_error) std::rethrow_exception(first_error);
+    }
+
+    std::vector<R> results;
+    results.reserve(count);
+    for (auto& slot : produced) results.push_back(std::move(*slot));
+    return results;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace rthv::exp

@@ -1,0 +1,49 @@
+// Fixed-size worker pool for sharding independent simulation runs.
+//
+// Deliberately minimal: a mutex-protected FIFO of type-erased tasks and N
+// workers. Simulation runs are seconds long, so queue contention is
+// irrelevant; what matters is that the pool drains every submitted task
+// before the destructor returns (no lost work) and never reorders the
+// *results* of a sweep -- ordering is the SweepRunner's job.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rthv::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains all pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Must not be called after destruction has begun.
+  void submit(std::function<void()> task);
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a sane fallback of 1.
+  [[nodiscard]] static std::size_t hardware_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace rthv::exp

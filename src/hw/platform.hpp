@@ -35,6 +35,7 @@ class Platform {
   [[nodiscard]] CpuModel& cpu() { return cpu_; }
   [[nodiscard]] const CpuModel& cpu() const { return cpu_; }
   [[nodiscard]] InterruptController& intc() { return intc_; }
+  [[nodiscard]] const InterruptController& intc() const { return intc_; }
   [[nodiscard]] MemorySystem& memory() { return memory_; }
   [[nodiscard]] TimestampTimer& timestamp_timer() { return timestamp_; }
 

@@ -1,19 +1,31 @@
 // Pending-event set of the discrete-event simulator.
 //
-// A binary min-heap ordered by (time, sequence number). The sequence number
-// makes ordering of simultaneous events deterministic (FIFO by scheduling
-// order), which keeps every experiment bit-reproducible. Cancellation is
-// lazy: cancelled entries stay in the heap and are discarded on pop, so both
-// schedule and cancel are O(log n) / O(1).
+// A single contiguous indexed binary min-heap ordered by (time, sequence
+// number). The sequence number makes ordering of simultaneous events
+// deterministic (FIFO by scheduling order), which keeps every experiment
+// bit-reproducible.
+//
+// Hot-path properties:
+//  * schedule / pop are O(log n) with no hashing and no per-event heap
+//    allocation: callbacks live inline in a slot table via SmallCallback
+//    (small-buffer optimized, 48-byte capture budget).
+//  * cancel(id) is an O(log n) sift-out through the slot table's heap
+//    back-references -- cancelled entries are reclaimed eagerly, so the
+//    queue's footprint is always proportional to the live event count and
+//    size() is exact by construction (no tombstones to age out).
+//  * EventId is a (slot, generation) pair, so stale ids (already run or
+//    cancelled) are rejected in O(1) without any bookkeeping set.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/small_callback.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::sim {
@@ -22,35 +34,75 @@ namespace rthv::sim {
 class EventId {
  public:
   constexpr EventId() = default;
-  [[nodiscard]] constexpr bool valid() const { return id_ != 0; }
+  [[nodiscard]] constexpr bool valid() const { return raw_ != 0; }
   constexpr bool operator==(const EventId&) const = default;
 
  private:
   friend class EventQueue;
-  explicit constexpr EventId(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;  // 0 == invalid / never scheduled
+  constexpr EventId(std::uint32_t slot, std::uint32_t generation)
+      : raw_((static_cast<std::uint64_t>(generation) << 32) |
+             static_cast<std::uint64_t>(slot)) {}
+  [[nodiscard]] constexpr std::uint32_t slot() const {
+    return static_cast<std::uint32_t>(raw_ & 0xffff'ffffULL);
+  }
+  [[nodiscard]] constexpr std::uint32_t generation() const {
+    return static_cast<std::uint32_t>(raw_ >> 32);
+  }
+  std::uint64_t raw_ = 0;  // 0 == invalid / never scheduled (generations start at 1)
 };
 
 /// Time-ordered queue of one-shot callbacks.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
-  /// Schedules `cb` to run at absolute time `t`. Events with equal time run
-  /// in scheduling order.
-  EventId schedule(TimePoint t, Callback cb);
+  /// Schedules `fn` to run at absolute time `t`. Events with equal time run
+  /// in scheduling order. The callable is constructed directly in its slot
+  /// (one move out of `fn`, no intermediate Callback).
+  template <typename F>
+  EventId schedule(TimePoint t, F&& fn) {
+    const std::uint32_t s = acquire_slot();
+    Slot& slot = slots_[s];
+    if constexpr (std::is_same_v<std::remove_cvref_t<F>, Callback>) {
+      slot.callback = std::forward<F>(fn);
+    } else {
+      slot.callback.emplace(std::forward<F>(fn));
+    }
+    if (size_ == heap_cap_) grow_heap(size_ + 1);
+    const std::size_t pos = size_++;
+    heap_[pos] = HeapEntry{t, next_seq_++, s};
+    sift_up(pos);  // final place() records heap_pos
+    return EventId{s, slot.generation};
+  }
 
   /// Cancels a previously scheduled event. Returns true if the event was
-  /// still pending (i.e. it will now never run).
-  bool cancel(EventId id);
+  /// still pending (i.e. it will now never run). The entry and its callback
+  /// are reclaimed immediately.
+  bool cancel(EventId id) {
+    if (!id.valid()) return false;
+    const std::uint32_t s = id.slot();
+    if (s >= slots_.size()) return false;
+    Slot& slot = slots_[s];
+    if (slot.generation != id.generation()) {
+      return false;  // already ran or cancelled (release bumped the generation)
+    }
+    remove_heap_entry(slot.heap_pos);
+    release_slot(s);
+    return true;
+  }
 
   /// True if no live events remain.
-  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
 
-  [[nodiscard]] std::size_t size() const { return live_count_; }
+  // Tracked explicitly: vector::size() on 24-byte elements costs a multiply
+  // on every call, and it sits on the schedule/pop critical path.
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Time of the earliest live event. Must not be called on an empty queue.
-  [[nodiscard]] TimePoint next_time() const;
+  [[nodiscard]] TimePoint next_time() const {
+    assert(size_ > 0 && "next_time() on empty EventQueue");
+    return heap_[0].time;
+  }
 
   /// Removes and returns the earliest live event. Must not be called on an
   /// empty queue.
@@ -58,32 +110,136 @@ class EventQueue {
     TimePoint time;
     Callback callback;
   };
-  Popped pop();
+  Popped pop() {
+    assert(size_ > 0 && "pop() on empty EventQueue");
+    const HeapEntry top = heap_[0];
+    Popped out{top.time, std::move(slots_[top.slot].callback)};
+    remove_heap_entry(0);
+    release_slot(top.slot);
+    return out;
+  }
+
+  /// Pre-sizes the heap and slot table for `n` concurrently pending events.
+  void reserve(std::size_t n) {
+    if (n > heap_cap_) grow_heap(n);
+    slots_.reserve(n);
+  }
+
+  /// Slot-table footprint: high-water mark of concurrently pending events.
+  /// Exposed so tests can assert that cancellation reclaims eagerly and the
+  /// bookkeeping stays proportional to the peak live count, not the total
+  /// number of events ever scheduled.
+  [[nodiscard]] std::size_t allocated_slots() const { return slots_.size(); }
 
  private:
-  struct Entry {
+  static constexpr std::uint32_t kNpos = 0xffff'ffffU;
+
+  // Trivially copyable; sift operations move these, never the callbacks.
+  struct HeapEntry {
     TimePoint time;
     std::uint64_t seq;
-    std::uint64_t id;
-    // Heap position irrelevant for callbacks; stored alongside.
+    std::uint32_t slot;
   };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 1;
+    std::uint32_t heap_pos = kNpos;  // valid whenever the slot is live
+    std::uint32_t next_free = kNpos;
+  };
+
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void place(std::size_t pos, const HeapEntry& e) {
+    heap_[pos] = e;
+    slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+  }
+
+  // The hot helpers live in the header so schedule/pop/cancel inline fully
+  // into the simulator loop; sifts move only the 24-byte HeapEntry through
+  // a hole, writing each displaced entry (and its back-reference) once.
+  void sift_up(std::size_t pos) {
+    const HeapEntry moving = heap_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 2;
+      if (!entry_before(moving, heap_[parent])) break;
+      place(pos, heap_[parent]);
+      pos = parent;
     }
-  };
+    place(pos, moving);
+  }
 
-  void drop_cancelled() const;
+  void sift_down(std::size_t pos) {
+    const HeapEntry moving = heap_[pos];
+    const std::size_t n = size_;
+    while (true) {
+      std::size_t child = 2 * pos + 1;
+      if (child >= n) break;
+      if (child + 1 < n && entry_before(heap_[child + 1], heap_[child])) ++child;
+      if (!entry_before(heap_[child], moving)) break;
+      place(pos, heap_[child]);
+      pos = child;
+    }
+    place(pos, moving);
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  // Callbacks keyed by id; kept out of the heap so Entry stays trivially
-  // copyable during sift operations.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::uint64_t next_id_ = 1;
+  /// Removes heap_[pos], restoring the heap invariant (swap-with-last).
+  void remove_heap_entry(std::size_t pos) {
+    const std::size_t last = --size_;
+    if (pos == last) return;
+    const HeapEntry displaced = heap_[last];
+    place(pos, displaced);
+    if (pos > 0 && entry_before(displaced, heap_[(pos - 1) / 2])) {
+      sift_up(pos);
+    } else {
+      sift_down(pos);
+    }
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNpos) {
+      const std::uint32_t s = free_head_;
+      free_head_ = slots_[s].next_free;
+      return s;
+    }
+    assert(slots_.size() < kNpos && "EventQueue slot table full");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  // The generation bump alone is what invalidates outstanding EventIds, so
+  // a released slot's heap_pos can stay stale: cancel() only reads it after
+  // the generation check passes, which implies the slot is live.
+  void release_slot(std::uint32_t s) {
+    Slot& slot = slots_[s];
+    slot.callback.reset();
+    if (++slot.generation == 0) slot.generation = 1;  // keep ids nonzero on wrap
+    slot.next_free = free_head_;
+    free_head_ = s;
+  }
+
+  // Grows the entry buffer (cold path; entries are trivially copyable).
+  void grow_heap(std::size_t min_cap) {
+    std::size_t cap = heap_cap_ == 0 ? 64 : heap_cap_ * 2;
+    if (cap < min_cap) cap = min_cap;
+    std::unique_ptr<HeapEntry[]> bigger(new HeapEntry[cap]);
+    if (size_ > 0) std::memcpy(bigger.get(), heap_.get(), size_ * sizeof(HeapEntry));
+    heap_ = std::move(bigger);
+    heap_cap_ = cap;
+  }
+
+  // The entry heap is a raw trivially-copyable buffer rather than a
+  // std::vector: push/pop stay fully inline (no out-of-line emplace_back)
+  // and the live count lives next to the other hot fields.
+  std::unique_ptr<HeapEntry[]> heap_;
+  std::size_t heap_cap_ = 0;
+  std::size_t size_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNpos;
   std::uint64_t next_seq_ = 0;
-  std::size_t live_count_ = 0;
 };
 
 }  // namespace rthv::sim

@@ -5,16 +5,6 @@
 
 namespace rthv::sim {
 
-EventId Simulator::schedule_at(TimePoint t, EventQueue::Callback cb) {
-  assert(t >= now_ && "cannot schedule an event in the simulated past");
-  return queue_.schedule(t, std::move(cb));
-}
-
-EventId Simulator::schedule_after(Duration d, EventQueue::Callback cb) {
-  assert(!d.is_negative() && "delay must be non-negative");
-  return queue_.schedule(now_ + d, std::move(cb));
-}
-
 std::uint64_t Simulator::run_until(TimePoint horizon) {
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.next_time() <= horizon && !event_limit_reached()) {

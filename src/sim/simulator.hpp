@@ -6,7 +6,9 @@
 // callbacks already pending at the same instant (FIFO among equals).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -18,11 +20,21 @@ class Simulator {
   /// Current simulated time.
   [[nodiscard]] TimePoint now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `t` (must not be in the past).
-  EventId schedule_at(TimePoint t, EventQueue::Callback cb);
+  /// Schedules `fn` at absolute time `t` (must not be in the past). The
+  /// callable forwards straight into its queue slot (no intermediate
+  /// Callback object on the hot path).
+  template <typename F>
+  EventId schedule_at(TimePoint t, F&& fn) {
+    assert(t >= now_ && "cannot schedule an event in the simulated past");
+    return queue_.schedule(t, std::forward<F>(fn));
+  }
 
-  /// Schedules `cb` after a non-negative delay from now.
-  EventId schedule_after(Duration d, EventQueue::Callback cb);
+  /// Schedules `fn` after a non-negative delay from now.
+  template <typename F>
+  EventId schedule_after(Duration d, F&& fn) {
+    assert(!d.is_negative() && "delay must be non-negative");
+    return queue_.schedule(now_ + d, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event; returns true if it had not yet run.
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -1,0 +1,157 @@
+// Move-only callable with small-buffer optimization for the event queue.
+//
+// `std::function` heap-allocates for captures beyond ~16 bytes and drags in
+// copy semantics the simulator never uses. SmallCallback stores any callable
+// whose state fits in kInlineSize bytes directly inline (no allocation on
+// the schedule/pop hot path); larger or potentially-throwing-move callables
+// fall back to a single heap cell. Dispatch is two function pointers held in
+// a per-type static ops table -- no virtual call, no RTTI.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rthv::sim {
+
+class SmallCallback {
+ public:
+  /// Capture budget for allocation-free storage. Sized for the simulator's
+  /// largest hot-path lambdas (a this-pointer plus a few words of state).
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (stored_inline<Fn>()) {
+      ::new (storage()) Fn(std::forward<F>(f));
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
+    }
+    ops_ = &OpsImpl<Fn>::ops;
+  }
+
+  /// Constructs a callable in place, destroying any previous one. Avoids
+  /// the extra relocate a construct-then-move-assign would cost.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    reset();
+    if constexpr (stored_inline<Fn>()) {
+      ::new (storage()) Fn(std::forward<F>(f));
+    } else {
+      ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
+    }
+    ops_ = &OpsImpl<Fn>::ops;
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { move_from(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  /// Invokes the stored callable. Must not be called on an empty callback.
+  void operator()() { ops_->invoke(storage()); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the stored callable (no-op if empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  /// True if a callable of type F would live in the inline buffer.
+  template <typename F>
+  [[nodiscard]] static constexpr bool stored_inline() {
+    using Fn = std::remove_cvref_t<F>;
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  // A null `relocate` means "memcpy the whole buffer" (inline trivially
+  // copyable callables, and the heap case where the buffer just holds a
+  // pointer); a null `destroy` means trivially destructible. Both let the
+  // hot move/reset paths skip the indirect call entirely.
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct OpsImpl {
+    static Fn& get(void* s) noexcept {
+      if constexpr (stored_inline<Fn>()) {
+        return *std::launder(reinterpret_cast<Fn*>(s));
+      } else {
+        return **std::launder(reinterpret_cast<Fn**>(s));
+      }
+    }
+    static void invoke(void* s) { get(s)(); }
+    static void relocate(void* src, void* dst) noexcept {
+      if constexpr (stored_inline<Fn>()) {
+        Fn& f = get(src);
+        ::new (dst) Fn(std::move(f));
+        f.~Fn();
+      } else {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      }
+    }
+    static void destroy(void* s) noexcept {
+      if constexpr (stored_inline<Fn>()) {
+        get(s).~Fn();
+      } else {
+        delete *std::launder(reinterpret_cast<Fn**>(s));
+      }
+    }
+    // Heap-stored callables relocate by copying the stored pointer, which
+    // memcpy of the buffer covers too; trivial copyability (which implies a
+    // trivial destructor) covers the inline case.
+    static constexpr bool kMemcpyRelocate =
+        !stored_inline<Fn>() || std::is_trivially_copyable_v<Fn>;
+    static constexpr bool kTrivialDestroy =
+        stored_inline<Fn>() && std::is_trivially_destructible_v<Fn>;
+    static constexpr Ops ops{&invoke, kMemcpyRelocate ? nullptr : &relocate,
+                             kTrivialDestroy ? nullptr : &destroy};
+  };
+
+  void move_from(SmallCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      if (other.ops_->relocate != nullptr) {
+        other.ops_->relocate(other.storage(), storage());
+      } else {
+        std::memcpy(storage(), other.storage(), kInlineSize);
+      }
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  [[nodiscard]] void* storage() noexcept { return static_cast<void*>(storage_); }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rthv::sim

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <ostream>
+#include <stdexcept>
 
 namespace rthv::stats {
 
@@ -28,6 +29,16 @@ void Histogram::add(sim::Duration sample) {
     return;
   }
   ++bins_[static_cast<std::size_t>(idx)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || width_ != other.width_ || bins_.size() != other.bins_.size()) {
+    throw std::invalid_argument("Histogram::merge: incompatible binning");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
 }
 
 sim::Duration Histogram::bin_lower(std::size_t i) const {

@@ -19,6 +19,10 @@ class Histogram {
 
   void add(sim::Duration sample);
 
+  /// Adds another histogram's counts bin by bin. Throws
+  /// std::invalid_argument unless both histograms share lo/width/bin count.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::size_t num_bins() const { return bins_.size(); }
   [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return bins_.at(i); }
   [[nodiscard]] sim::Duration bin_lower(std::size_t i) const;

@@ -21,6 +21,13 @@ void LatencyRecorder::record(HandlingClass cls, sim::Duration latency) {
   all_.add(latency);
 }
 
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  for (std::size_t i = 0; i < per_class_.size(); ++i) {
+    per_class_[i].merge(other.per_class_[i]);
+  }
+  all_.merge(other.all_);
+}
+
 const Summary& LatencyRecorder::of(HandlingClass cls) const {
   assert(cls != HandlingClass::kCount_);
   return per_class_[static_cast<std::size_t>(cls)];

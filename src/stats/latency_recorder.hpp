@@ -23,6 +23,9 @@ class LatencyRecorder {
  public:
   void record(HandlingClass cls, sim::Duration latency);
 
+  /// Folds another recorder's samples into this one, per class and overall.
+  void merge(const LatencyRecorder& other);
+
   [[nodiscard]] const Summary& of(HandlingClass cls) const;
   [[nodiscard]] const Summary& all() const { return all_; }
 

@@ -11,6 +11,11 @@ void Summary::add(sim::Duration sample) {
   sorted_valid_ = false;
 }
 
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_valid_ = false;
+}
+
 void Summary::ensure_sorted() const {
   if (sorted_valid_) return;
   sorted_ = samples_;

@@ -12,6 +12,11 @@ class Summary {
  public:
   void add(sim::Duration sample);
 
+  /// Appends all of `other`'s samples (in their recorded order). Used to
+  /// fold per-run summaries of a parallel sweep back together; merging run
+  /// results in index order reproduces the sequential sample order exactly.
+  void merge(const Summary& other);
+
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 

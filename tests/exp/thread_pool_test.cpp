@@ -1,0 +1,84 @@
+#include "exp/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rthv::exp {
+namespace {
+
+TEST(ThreadPoolTest, DrainsEveryTaskBeforeDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor must drain the queue, not drop it
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenForZero) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  while (!ran.load()) std::this_thread::yield();
+}
+
+TEST(ThreadPoolTest, SingleWorkerExecutesInSubmissionOrder) {
+  std::vector<int> order;
+  std::mutex mutex;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&order, &mutex, i] {
+        const std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(i);
+      });
+    }
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, WorkRunsOffTheSubmittingThread) {
+  const auto caller = std::this_thread::get_id();
+  std::atomic<bool> same{true};
+  std::atomic<bool> ran{false};
+  {
+    ThreadPool pool(2);
+    pool.submit([&, caller] {
+      same = (std::this_thread::get_id() == caller);
+      ran = true;
+    });
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_FALSE(same.load());
+}
+
+TEST(ThreadPoolTest, SlowTasksDoNotStarveLaterOnes) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      done.fetch_add(1);
+    });
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(ThreadPoolTest, HardwareJobsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace rthv::exp

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under sanitizers:
+#   1. ASan + UBSan (RTHV_SANITIZE=ON) over the full suite
+#   2. TSan (RTHV_TSAN=ON) over the threaded exp/ tests (optional, pass --tsan)
+#
+# usage: tests/run_sanitized.sh [--tsan] [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+jobs="$(nproc 2>/dev/null || echo 1)"
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) jobs="$arg" ;;
+  esac
+done
+
+echo "== ASan + UBSan build =="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_SANITIZE=ON
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== TSan build (threaded exp/ tests) =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_TSAN=ON
+  cmake --build build-tsan -j "$jobs" --target test_exp
+  ctest --test-dir build-tsan --output-on-failure -R 'ThreadPool|SweepRunner'
+fi
+
+echo "sanitized runs passed"

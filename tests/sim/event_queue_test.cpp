@@ -87,6 +87,66 @@ TEST(EventQueueTest, PopReturnsTimeAndCallback) {
   EXPECT_EQ(hits, 1);
 }
 
+// Satellite requirement: schedule-then-cancel of a million events with exact
+// size() bookkeeping throughout, and eager reclamation -- cancelled slots are
+// reused, so the slot table's high-water mark stays at the peak *live* count,
+// not the total scheduled count.
+TEST(EventQueueTest, MillionScheduleCancelExactBookkeeping) {
+  constexpr std::size_t kTotal = 1'000'000;
+  constexpr std::size_t kBatch = 1000;
+  EventQueue q;
+  std::vector<EventId> batch;
+  batch.reserve(kBatch);
+  std::int64_t t = 0;
+  for (std::size_t round = 0; round < kTotal / kBatch; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ASSERT_EQ(q.size(), i);
+      batch.push_back(q.schedule(TimePoint::at_ns(++t), [] {}));
+    }
+    ASSERT_EQ(q.size(), kBatch);
+    for (const EventId id : batch) ASSERT_TRUE(q.cancel(id));
+    ASSERT_EQ(q.size(), 0u);
+    ASSERT_TRUE(q.empty());
+    batch.clear();
+  }
+  // One million events went through, but only kBatch were ever live at once:
+  // eager reclamation must have capped the slot table at the live peak.
+  EXPECT_LE(q.allocated_slots(), kBatch);
+}
+
+TEST(EventQueueTest, CancelledSlotIdsAreNotResurrectedByReuse) {
+  EventQueue q;
+  const EventId first = q.schedule(TimePoint::at_us(1), [] {});
+  ASSERT_TRUE(q.cancel(first));
+  // The reused slot gets a new generation; the stale id must stay dead.
+  const EventId second = q.schedule(TimePoint::at_us(2), [] {});
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_TRUE(q.cancel(second));
+  EXPECT_TRUE(q.empty());
+}
+
+// Equal-time events must pop in schedule order even when cancellations
+// rearrange the heap in between (bit-reproducibility depends on this).
+TEST(EventQueueTest, EqualTimeFifoSurvivesInterleavedCancels) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> cancelled;
+  for (int i = 0; i < 200; ++i) {
+    const EventId id =
+        q.schedule(TimePoint::at_us(500), [&order, i] { order.push_back(i); });
+    if (i % 3 == 0) cancelled.push_back(id);
+  }
+  for (const EventId id : cancelled) ASSERT_TRUE(q.cancel(id));
+  while (!q.empty()) q.pop().callback();
+  int prev = -1;
+  for (const int i : order) {
+    EXPECT_NE(i % 3, 0);  // cancelled callbacks never run
+    EXPECT_GT(i, prev);   // FIFO among the survivors
+    prev = i;
+  }
+  EXPECT_EQ(order.size(), 200u - cancelled.size());
+}
+
 TEST(EventQueueTest, ManyInterleavedSchedulesAndCancels) {
   EventQueue q;
   std::vector<EventId> ids;
