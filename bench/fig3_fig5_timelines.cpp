@@ -13,6 +13,7 @@
 
 #include "core/hypervisor_system.hpp"
 #include "core/timeline.hpp"
+#include "obs/exporters.hpp"
 #include "workload/trace.hpp"
 
 using namespace rthv;
@@ -34,7 +35,7 @@ void run_diagram(const char* title, bool interposing) {
   system.keep_completions(true);
   core::TimelineRecorder timeline;
   timeline.attach(system.hypervisor());
-  system.hypervisor().trace_log().set_enabled(true);
+  system.enable_tracing();
 
   // One IRQ at t = 2000us: inside partition 1's slot, subscriber is
   // partition 2 (exactly the situation of Figs. 3/5).
@@ -43,7 +44,8 @@ void run_diagram(const char* title, bool interposing) {
   timeline.finish(system.simulator().now());
 
   std::cout << "=== " << title << " ===\n";
-  std::cout << "hypervisor event log:\n" << system.hypervisor().trace_log().render();
+  const auto meta = system.trace_meta();
+  std::cout << "hypervisor event log:\n" << obs::render_text(system.trace(), &meta);
   std::cout << "context occupancy (first 22000us):\n";
   for (const auto& iv : timeline.intervals()) {
     if (iv.begin > TimePoint::at_us(22'000)) break;

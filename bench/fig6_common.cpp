@@ -49,6 +49,7 @@ Fig6Result run_fig6(const Fig6Config& config) {
   exp::SweepRunner runner(config.jobs);
   auto runs = runner.map(config.load_percent.size(), [&](std::size_t i) {
     core::HypervisorSystem system(base);
+    if (config.trace && i == 0) system.enable_tracing();
     const int load = config.load_percent[i];
     const auto lambda = Duration::ns(c_bh_eff.count_ns() * 100 / load);
     workload::ExponentialTraceGenerator gen(
@@ -65,7 +66,11 @@ Fig6Result run_fig6(const Fig6Config& config) {
                     .histogram = stats::Histogram(hist_lo, hist_hi, hist_bin),
                     .per_load = {},
                     .d_min = d_min,
-                    .c_bh_eff = c_bh_eff};
+                    .c_bh_eff = c_bh_eff,
+                    .metrics = {},
+                    .trace = {},
+                    .trace_meta = {},
+                    .trace_dropped = 0};
 
   // Merge in load order: cumulative statistics match the sequential run.
   for (auto& run : runs) {
@@ -77,6 +82,12 @@ Fig6Result run_fig6(const Fig6Config& config) {
     result.deferred_switches += run.deferred_switches;
     result.denied_by_monitor += run.denied_by_monitor;
     result.lost_raises += run.lost_raises;
+    result.metrics.merge(run.metrics);
+    result.trace.insert(result.trace.end(), run.trace.begin(), run.trace.end());
+    if (result.trace_meta.partition_names.empty()) {
+      result.trace_meta = std::move(run.trace_meta);
+    }
+    result.trace_dropped += run.trace_dropped;
   }
   return result;
 }
@@ -126,6 +137,21 @@ void export_fig6(const std::string& dir, const std::string& name, const char* ti
   const std::string csv = dir + "/" + name + ".csv";
   stats::write_histogram_csv(csv, result.histogram);
   stats::write_histogram_gnuplot(dir + "/" + name + ".gp", csv, title);
+}
+
+void export_fig6_observability(const Fig6Result& result, const std::string& trace_out,
+                               const std::string& metrics_out) {
+  if (!trace_out.empty()) {
+    stats::write_chrome_trace_file(trace_out, result.trace, result.trace_meta,
+                                   result.trace_dropped);
+  }
+  if (!metrics_out.empty()) {
+    if (metrics_out.ends_with(".txt")) {
+      stats::write_metrics_text_file(metrics_out, result.metrics);
+    } else {
+      stats::write_metrics_json_file(metrics_out, result.metrics);
+    }
+  }
 }
 
 }  // namespace rthv::bench

@@ -13,9 +13,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/hypervisor_system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "stats/histogram.hpp"
 
 namespace rthv::bench {
@@ -27,6 +30,7 @@ struct Fig6Config {
   std::vector<int> load_percent = {1, 5, 10};
   std::uint64_t seed = 2014;     // DAC'14
   std::size_t jobs = 1;          // worker threads; results identical for any value
+  bool trace = false;            // record a typed trace of the first load step
 };
 
 struct Fig6Result {
@@ -40,6 +44,10 @@ struct Fig6Result {
   std::uint64_t lost_raises = 0;
   sim::Duration d_min;
   sim::Duration c_bh_eff;
+  obs::MetricsSnapshot metrics;        // merged over all loads, in load order
+  std::vector<obs::TraceEvent> trace;  // first load step (if Fig6Config::trace)
+  obs::TraceMeta trace_meta;
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Runs the experiment and returns cumulative + per-load statistics.
@@ -54,5 +62,11 @@ void print_fig6_report(std::ostream& os, const char* title, const Fig6Config& co
 /// gnuplot script rendering it in the style of the paper's Fig. 6 panels).
 void export_fig6(const std::string& dir, const std::string& name, const char* title,
                  const Fig6Result& result);
+
+/// Writes the --trace-out (Chrome trace-event JSON, Perfetto loadable) and
+/// --metrics-out (JSON, or text when the path ends in ".txt") artefacts;
+/// empty paths are skipped.
+void export_fig6_observability(const Fig6Result& result, const std::string& trace_out,
+                               const std::string& metrics_out);
 
 }  // namespace rthv::bench

@@ -4,7 +4,8 @@
 // approximately uniform in (0, T_TDMA - T_i] = (0, 8000 us]; average
 // latency ~2500 us over 15000 IRQs; worst case ~8000 us.
 //
-// usage: fig6a_unmonitored [--jobs N] [export-dir]
+// usage: fig6a_unmonitored [--jobs N] [--trace-out f.json] [--metrics-out f.json]
+//        [export-dir]
 #include <iostream>
 
 #include "exp/cli.hpp"
@@ -16,6 +17,7 @@ int main(int argc, char** argv) {
   config.monitored = false;
   config.enforce_floor = false;
   config.jobs = cli.jobs;
+  config.trace = !cli.trace_out.empty();
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6a -- monitoring disabled", config,
                                  result);
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
     rthv::bench::export_fig6(cli.positional[0], "fig6a", "Fig. 6a -- monitoring disabled",
                              result);
   }
+  rthv::bench::export_fig6_observability(result, cli.trace_out, cli.metrics_out);
   std::cout << "paper reference: direct ~40% (<=50us), delayed ~60% (uniform up to "
                "8000us), average ~2500us\n";
   return 0;

@@ -5,7 +5,8 @@
 // average ~1200 us; the worst case is still defined by the TDMA cycle
 // (identical to the unmonitored case) because violating IRQs are delayed.
 //
-// usage: fig6b_monitored [--jobs N] [export-dir]
+// usage: fig6b_monitored [--jobs N] [--trace-out f.json] [--metrics-out f.json]
+//        [export-dir]
 #include <iostream>
 
 #include "exp/cli.hpp"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   config.monitored = true;
   config.enforce_floor = false;
   config.jobs = cli.jobs;
+  config.trace = !cli.trace_out.empty();
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6b -- monitoring enabled", config,
                                  result);
@@ -24,6 +26,7 @@ int main(int argc, char** argv) {
     rthv::bench::export_fig6(cli.positional[0], "fig6b", "Fig. 6b -- monitoring enabled",
                              result);
   }
+  rthv::bench::export_fig6_observability(result, cli.trace_out, cli.metrics_out);
   std::cout << "paper reference: direct ~40%, interposed ~40%, delayed ~20%, average "
                "~1200us, worst case still TDMA-bound\n";
   return 0;

@@ -5,7 +5,8 @@
 // average ~150 us (~16x better than Fig. 6a); worst-case latencies are no
 // longer defined by the TDMA cycle length.
 //
-// usage: fig6c_no_violations [--jobs N] [export-dir]
+// usage: fig6c_no_violations [--jobs N] [--trace-out f.json] [--metrics-out f.json]
+//        [export-dir]
 #include <iostream>
 
 #include "exp/cli.hpp"
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   config.monitored = true;
   config.enforce_floor = true;
   config.jobs = cli.jobs;
+  config.trace = !cli.trace_out.empty();
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6c -- monitoring enabled, no violations",
                                  config, result);
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
     rthv::bench::export_fig6(cli.positional[0], "fig6c",
                              "Fig. 6c -- monitoring enabled, no violations", result);
   }
+  rthv::bench::export_fig6_observability(result, cli.trace_out, cli.metrics_out);
 
   // The headline improvement factor against the unmonitored run.
   rthv::bench::Fig6Config unmon = config;

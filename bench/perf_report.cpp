@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/hypervisor_system.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/event_queue.hpp"
 #include "workload/generators.hpp"
 
@@ -125,6 +126,38 @@ void full_system_irqs(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
 }
 
+// Cost of an RTHV_TRACE site with the ring disabled: this is what every
+// instrumented hot path pays when nobody asked for a trace, and the
+// committed baseline asserts it stays < 1 ns/event. ClobberMemory keeps the
+// compiler from proving the ring stays disabled and deleting the loop body.
+void trace_overhead_disabled(benchmark::State& state) {
+  obs::TraceRing ring;  // never enabled; no buffer is ever allocated
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    RTHV_TRACE(ring, t, obs::TracePoint::kIrqPush, obs::TraceCategory::kIrq, 1u, 2u,
+               static_cast<std::uint64_t>(t), 0);
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(ring.emitted());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// The enabled-path cost for comparison (one 40-byte store + counter bumps).
+void trace_overhead_enabled(benchmark::State& state) {
+  obs::TraceRing ring;
+  ring.set_enabled(true);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    RTHV_TRACE(ring, t, obs::TracePoint::kIrqPush, obs::TraceCategory::kIrq, 1u, 2u,
+               static_cast<std::uint64_t>(t), 0);
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(ring.emitted());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 // --- result collection ------------------------------------------------------
 
 struct Measurement {
@@ -218,6 +251,8 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("event_queue/schedule_cancel", schedule_cancel)
       ->Arg(1000)->Arg(100000);
   benchmark::RegisterBenchmark("event_queue/mixed_hv_pattern", mixed_hv_pattern);
+  benchmark::RegisterBenchmark("obs/trace_overhead_ns", trace_overhead_disabled);
+  benchmark::RegisterBenchmark("obs/trace_overhead_enabled_ns", trace_overhead_enabled);
   benchmark::RegisterBenchmark("full_system/events", full_system_events)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("full_system/irqs", full_system_irqs)

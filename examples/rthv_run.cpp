@@ -7,12 +7,17 @@
 //
 // Usage:
 //   rthv_run <config.ini|--baseline> [workload...] [--horizon-s N] [--dump-config]
+//            [--trace-out f.json] [--metrics-out f.json]
 // Workloads (one per source, in source order):
 //   --exp <mean_us> <count> [floor_us]   exponential interarrivals
 //   --trace <file.csv>                   distances from a trace CSV
 //
 // With no workload arguments, every source gets 2000 exponential arrivals
 // at 10x its effective bottom-handler cost (~10 % load).
+//
+// --trace-out writes a Chrome trace-event JSON of the run (open in Perfetto
+// or chrome://tracing); --metrics-out dumps the metrics snapshot as JSON
+// (text dump when the path ends in ".txt").
 #include <cstdlib>
 #include <cctype>
 #include <cstring>
@@ -23,6 +28,7 @@
 #include "core/config_loader.hpp"
 #include "core/hypervisor_system.hpp"
 #include "hv/overhead_model.hpp"
+#include "stats/export.hpp"
 #include "workload/generators.hpp"
 
 using namespace rthv;
@@ -33,7 +39,8 @@ namespace {
 void usage() {
   std::cerr << "usage: rthv_run <config.ini|--baseline> "
                "[--exp mean_us count [floor_us] | --trace file.csv]... "
-               "[--horizon-s N] [--dump-config]\n";
+               "[--horizon-s N] [--dump-config] [--trace-out f.json] "
+               "[--metrics-out f.json]\n";
 }
 
 }  // namespace
@@ -59,6 +66,8 @@ int main(int argc, char** argv) {
   std::vector<workload::Trace> traces;
   Duration horizon = Duration::s(600);
   bool dump_config = false;
+  std::string trace_out;
+  std::string metrics_out;
   std::uint64_t seed = 1;
   try {
     for (int i = 2; i < argc; ++i) {
@@ -81,6 +90,12 @@ int main(int argc, char** argv) {
         horizon = Duration::s(std::atoll(argv[++i]));
       } else if (arg == "--dump-config") {
         dump_config = true;
+      } else if (arg == "--trace-out") {
+        if (i + 1 >= argc) throw std::runtime_error("--trace-out needs a path");
+        trace_out = argv[++i];
+      } else if (arg == "--metrics-out") {
+        if (i + 1 >= argc) throw std::runtime_error("--metrics-out needs a path");
+        metrics_out = argv[++i];
       } else {
         throw std::runtime_error("unknown argument '" + arg + "'");
       }
@@ -115,6 +130,7 @@ int main(int argc, char** argv) {
   }
 
   core::HypervisorSystem system(config);
+  if (!trace_out.empty()) system.enable_tracing();
   for (std::uint32_t s = 0; s < traces.size(); ++s) {
     system.attach_trace(s, std::move(traces[s]));
   }
@@ -136,6 +152,26 @@ int main(int argc, char** argv) {
       }
     }
     std::cout << "\n";
+  }
+  try {
+    if (!trace_out.empty()) {
+      stats::write_chrome_trace_file(trace_out, system.trace(), system.trace_meta(),
+                                     system.trace_dropped());
+      std::cout << "trace written to " << trace_out << " (" << system.trace().size()
+                << " events, " << system.trace_dropped() << " dropped)\n";
+    }
+    if (!metrics_out.empty()) {
+      const auto snap = system.metrics_snapshot();
+      if (metrics_out.ends_with(".txt")) {
+        stats::write_metrics_text_file(metrics_out, snap);
+      } else {
+        stats::write_metrics_json_file(metrics_out, snap);
+      }
+      std::cout << "metrics written to " << metrics_out << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
   }
   return 0;
 }

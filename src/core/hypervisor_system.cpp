@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
 
 #include "mon/learning_monitor.hpp"
 #include "mon/token_bucket_monitor.hpp"
@@ -106,11 +107,77 @@ HypervisorSystem::HypervisorSystem(const SystemConfig& config) : config_(config)
     platform_->add_timer(src.line);
   }
 
+  // Latency histograms: 100 us buckets from 0 to 8.5 ms (the span of the
+  // paper's Fig. 6 panels); the tail lands in the overflow bucket.
+  constexpr std::int64_t kBucketWidthNs = 100'000;
+  constexpr std::uint32_t kNumBuckets = 85;
+  latency_all_ = metrics_.histogram("irq.latency.all", 0, kBucketWidthNs, kNumBuckets);
+  completed_counter_ = metrics_.counter("irq.completed");
+  for (std::size_t c = 0; c < static_cast<std::size_t>(stats::HandlingClass::kCount_);
+       ++c) {
+    const auto suffix =
+        std::string(stats::to_string(static_cast<stats::HandlingClass>(c)));
+    latency_by_class_[c] =
+        metrics_.histogram("irq.latency." + suffix, 0, kBucketWidthNs, kNumBuckets);
+    completed_by_class_[c] = metrics_.counter("irq.completed." + suffix);
+  }
+
   hv_->set_completion_hook([this](const hv::CompletedIrq& rec) {
     ++completed_;
     recorder_.record(rec.handling, rec.latency());
+    const auto cls = static_cast<std::size_t>(rec.handling);
+    const std::int64_t latency_ns = rec.latency().count_ns();
+    metrics_.add(completed_counter_);
+    metrics_.add(completed_by_class_[cls]);
+    metrics_.observe(latency_all_, latency_ns);
+    metrics_.observe(latency_by_class_[cls], latency_ns);
     if (keep_completions_) completions_.push_back(rec);
   });
+}
+
+void HypervisorSystem::enable_tracing(std::size_t capacity) {
+  auto& ring = hv_->trace_ring();
+  if (ring.capacity() != capacity) ring.set_capacity(capacity);
+  ring.set_enabled(true);
+}
+
+obs::MetricsSnapshot HypervisorSystem::metrics_snapshot() const {
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+
+  const auto& irq = hv_->irq_stats();
+  snap.add_counter("irq.serviced", irq.serviced);
+  snap.add_counter("irq.direct_arrivals", irq.direct);
+  snap.add_counter("irq.monitor_checked", irq.monitor_checked);
+  snap.add_counter("irq.interpose_started", irq.interpose_started);
+  snap.add_counter("irq.denied.monitor", irq.denied_by_monitor);
+  snap.add_counter("irq.denied.engine_busy", irq.denied_engine_busy);
+  snap.add_counter("irq.denied.backlog", irq.denied_backlog);
+  snap.add_counter("irq.denied.guest_masked", irq.denied_guest_masked);
+  snap.add_counter("irq.deferred_slot_switches", irq.deferred_slot_switches);
+
+  const auto& ctx = hv_->context_switches();
+  snap.add_counter("ctx.tdma", ctx.tdma);
+  snap.add_counter("ctx.interpose_enter", ctx.interpose_enter);
+  snap.add_counter("ctx.interpose_return", ctx.interpose_return);
+
+  const auto& health = hv_->health();
+  for (std::size_t k = 0; k < static_cast<std::size_t>(hv::HealthEventKind::kCount_);
+       ++k) {
+    const auto kind = static_cast<hv::HealthEventKind>(k);
+    snap.add_counter("health." + std::string(hv::to_string(kind)),
+                     health.count(kind));
+  }
+
+  std::uint64_t queue_drops = 0;
+  for (hv::PartitionId p = 0; p < hv_->num_partitions(); ++p) {
+    queue_drops += hv_->partition(p).irq_queue().drops();
+  }
+  snap.add_counter("irq_queue.drops", queue_drops);
+  snap.add_counter("partition.restarts", hv_->partition_restarts());
+  snap.add_counter("intc.lost_raises", platform_->intc().lost_raises());
+  snap.add_counter("sim.executed_events", sim_.executed_events());
+  snap.set_gauge("sim.now_ns", sim_.now().count_ns());
+  return snap;
 }
 
 void HypervisorSystem::attach_trace(std::uint32_t source_index, workload::Trace trace) {

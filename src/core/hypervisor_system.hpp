@@ -3,6 +3,8 @@
 // main entry point for experiments and applications.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -11,6 +13,9 @@
 #include "guest/guest_kernel.hpp"
 #include "hv/hypervisor.hpp"
 #include "hw/platform.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/simulator.hpp"
 #include "stats/latency_recorder.hpp"
 #include "workload/trace.hpp"
@@ -31,6 +36,11 @@ class HypervisorSystem {
   /// Keep every CompletedIrq record (needed for per-event series such as
   /// Fig. 7); off by default to save memory on long runs.
   void keep_completions(bool on) { keep_completions_ = on; }
+
+  /// Turns on the hypervisor's typed trace ring (record-only: enabling
+  /// tracing never changes simulation results). May be called before or
+  /// during a run; records wrap once `capacity` is exceeded.
+  void enable_tracing(std::size_t capacity = obs::TraceRing::kDefaultCapacity);
 
   /// Starts the hypervisor and runs the simulation until either all
   /// attached trace activations have completed their bottom handlers or
@@ -54,6 +64,27 @@ class HypervisorSystem {
   [[nodiscard]] std::uint64_t completed_bottom_handlers() const { return completed_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
+  // --- observability --------------------------------------------------------
+  /// Trace snapshot (oldest retained record first); empty unless
+  /// enable_tracing() was called.
+  [[nodiscard]] std::vector<obs::TraceEvent> trace() const {
+    return hv_->trace_ring().snapshot();
+  }
+  [[nodiscard]] obs::TraceMeta trace_meta() const { return hv_->trace_meta(); }
+  [[nodiscard]] std::uint64_t trace_dropped() const {
+    return hv_->trace_ring().dropped();
+  }
+
+  /// Always-on metrics registry (latency histograms + completion counters
+  /// are registered by the constructor; callers may add their own).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Registry snapshot augmented with derived counters/gauges (IRQ path
+  /// stats, context switches, health counts, queue drops, sim event count).
+  /// Derived purely from simulation state, never from trace counters, so the
+  /// snapshot is identical with tracing on or off.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
+
  private:
   SystemConfig config_;
   sim::Simulator sim_;
@@ -67,6 +98,15 @@ class HypervisorSystem {
   bool started_ = false;
   stats::LatencyRecorder recorder_;
   std::vector<hv::CompletedIrq> completions_;
+  obs::MetricsRegistry metrics_;
+  obs::MetricsRegistry::HistogramHandle latency_all_;
+  std::array<obs::MetricsRegistry::HistogramHandle,
+             static_cast<std::size_t>(stats::HandlingClass::kCount_)>
+      latency_by_class_{};
+  obs::MetricsRegistry::CounterHandle completed_counter_;
+  std::array<obs::MetricsRegistry::CounterHandle,
+             static_cast<std::size_t>(stats::HandlingClass::kCount_)>
+      completed_by_class_{};
 };
 
 }  // namespace rthv::core

@@ -11,7 +11,10 @@ namespace rthv::exp {
 namespace {
 
 [[noreturn]] void usage_error(const char* argv0) {
-  std::fprintf(stderr, "usage: %s [--jobs N|auto] [positional args...]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s [--jobs N|auto] [--trace-out PATH] [--metrics-out PATH] "
+               "[positional args...]\n",
+               argv0);
   std::exit(2);
 }
 
@@ -37,6 +40,16 @@ CliOptions parse_cli(int argc, char** argv) {
       options.jobs = parse_jobs_value(argv[++i], argv[0]);
     } else if (arg.starts_with("--jobs=")) {
       options.jobs = parse_jobs_value(arg.substr(7), argv[0]);
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) usage_error(argv[0]);
+      options.trace_out = argv[++i];
+    } else if (arg.starts_with("--trace-out=")) {
+      options.trace_out = arg.substr(12);
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) usage_error(argv[0]);
+      options.metrics_out = argv[++i];
+    } else if (arg.starts_with("--metrics-out=")) {
+      options.metrics_out = arg.substr(14);
     } else {
       options.positional.emplace_back(arg);
     }

@@ -1,7 +1,9 @@
 // Tiny command-line parsing shared by the bench drivers.
 //
 // Recognises `--jobs N`, `--jobs=N` and `--jobs auto` (hardware
-// concurrency); everything else is returned as positional arguments in
+// concurrency), `--trace-out PATH` (Chrome trace-event JSON, Perfetto
+// loadable) and `--metrics-out PATH` (metrics JSON; `.txt` suffix selects
+// the text dump); everything else is returned as positional arguments in
 // order. Keeps the drivers' existing positional interfaces (e.g. an export
 // directory) intact.
 #pragma once
@@ -14,6 +16,8 @@ namespace rthv::exp {
 
 struct CliOptions {
   std::size_t jobs = 1;
+  std::string trace_out;    // empty = tracing off
+  std::string metrics_out;  // empty = no metrics dump
   std::vector<std::string> positional;
 };
 

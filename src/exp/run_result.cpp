@@ -18,6 +18,10 @@ RunResult RunResult::capture(const core::HypervisorSystem& system) {
   out.deferred_switches = irq.deferred_slot_switches;
   out.denied_by_monitor = irq.denied_by_monitor;
   out.lost_raises = system.platform().intc().lost_raises();
+  out.metrics = system.metrics_snapshot();
+  out.trace = system.trace();
+  if (!out.trace.empty()) out.trace_meta = system.trace_meta();
+  out.trace_dropped = system.trace_dropped();
   return out;
 }
 
@@ -45,6 +49,10 @@ void RunResult::merge(RunResult&& other) {
   deferred_switches += other.deferred_switches;
   denied_by_monitor += other.denied_by_monitor;
   lost_raises += other.lost_raises;
+  metrics.merge(other.metrics);
+  trace.insert(trace.end(), other.trace.begin(), other.trace.end());
+  if (trace_meta.partition_names.empty()) trace_meta = std::move(other.trace_meta);
+  trace_dropped += other.trace_dropped;
 }
 
 }  // namespace rthv::exp

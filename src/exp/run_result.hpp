@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "hv/hypervisor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "stats/histogram.hpp"
 #include "stats/latency_recorder.hpp"
 
@@ -28,6 +30,13 @@ struct RunResult {
   std::uint64_t deferred_switches = 0;
   std::uint64_t denied_by_monitor = 0;
   std::uint64_t lost_raises = 0;
+  /// Per-run metrics; merge() folds counters/histograms deterministically
+  /// (call in run-index order, like the recorder).
+  obs::MetricsSnapshot metrics;
+  /// Trace snapshot + names; empty unless the run enabled tracing.
+  std::vector<obs::TraceEvent> trace;
+  obs::TraceMeta trace_meta;
+  std::uint64_t trace_dropped = 0;
 
   /// Snapshots recorder, counters and (if kept) completion records from a
   /// finished run.

@@ -26,6 +26,11 @@ void HealthMonitor::report(const HealthEvent& event) {
   ++counts_[static_cast<std::size_t>(event.kind)];
   if (ring_.size() >= capacity_) ring_.pop_front();
   ring_.push_back(event);
+  if (trace_ != nullptr) {
+    RTHV_TRACE(*trace_, event.time.count_ns(), obs::TracePoint::kHealth,
+               obs::TraceCategory::kOther, event.partition, event.source,
+               static_cast<std::uint64_t>(event.kind));
+  }
   if (callback_) callback_(event);
 }
 

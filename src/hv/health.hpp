@@ -31,6 +31,7 @@
 #include <string_view>
 
 #include "hv/types.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::hv {
@@ -65,6 +66,10 @@ class HealthMonitor {
 
   void set_callback(Callback cb) { callback_ = std::move(cb); }
 
+  /// Re-emits every reported event as a typed kHealth trace record
+  /// (arg0 = HealthEventKind) on `ring`; pass nullptr to detach.
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
+
   [[nodiscard]] std::uint64_t count(HealthEventKind k) const;
   [[nodiscard]] std::uint64_t total() const;
 
@@ -78,6 +83,7 @@ class HealthMonitor {
   std::deque<HealthEvent> ring_;
   std::array<std::uint64_t, static_cast<std::size_t>(HealthEventKind::kCount_)> counts_{};
   Callback callback_;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace rthv::hv

@@ -6,13 +6,16 @@
 
 namespace rthv::hv {
 
+using obs::TraceCategory;
+using obs::TracePoint;
 using sim::Duration;
 using sim::TimePoint;
-using sim::TraceCategory;
 using Reason = Hypervisor::ContextChange::Reason;
 
 Hypervisor::Hypervisor(hw::Platform& platform, const OverheadConfig& overheads)
-    : platform_(platform), overheads_(platform.cpu(), platform.memory(), overheads) {}
+    : platform_(platform), overheads_(platform.cpu(), platform.memory(), overheads) {
+  health_.set_trace(&trace_.ring());
+}
 
 PartitionId Hypervisor::add_partition(std::string name, std::size_t irq_queue_capacity) {
   assert(!started_);
@@ -71,8 +74,8 @@ void Hypervisor::start() {
   });
   current_partition_ = scheduler_->current_owner();
   tdma_timer_->program_at(scheduler_->current_boundary());
-  trace_.emit(now(), TraceCategory::kScheduler,
-              "start in partition " + partitions_[current_partition_]->name());
+  trace(TracePoint::kStart, TraceCategory::kScheduler, current_partition_, obs::kNoId,
+        scheduler_->current_index());
   if (context_hook_) {
     context_hook_(ContextChange{now(), current_partition_, Reason::kStart});
   }
@@ -145,7 +148,7 @@ void Hypervisor::restart_partition(PartitionId p) {
 
 void Hypervisor::do_restart_partition(PartitionId p) {
   Partition& part = *partitions_[p];
-  trace_.emit(now(), TraceCategory::kScheduler, "restart partition " + part.name());
+  trace(TracePoint::kPartitionRestart, TraceCategory::kScheduler, p);
   ++restarts_;
 
   // Cancel in-flight work owned by the partition (discarded, not resumed).
@@ -231,8 +234,8 @@ void Hypervisor::service_line(hw::IrqLine line) {
   ev.arrived_in_own_slot = !interpose_ &&
                            current_partition_ == src.config.subscriber &&
                            slot_owner() == src.config.subscriber;
-  trace_.emit(now(), TraceCategory::kTopHandler,
-              src.config.name + " seq=" + std::to_string(ev.seq));
+  trace(TracePoint::kTopEnter, TraceCategory::kTopHandler, src.config.subscriber, sid,
+        ev.seq);
   run_hv_step(hw::WorkCategory::kTopHandler, src.config.c_top,
               [this, sid, ev] { finish_top_handler(sid, ev); });
 }
@@ -240,6 +243,8 @@ void Hypervisor::service_line(hw::IrqLine line) {
 void Hypervisor::finish_top_handler(IrqSourceId sid, IrqEvent event) {
   Source& src = sources_[sid];
   Partition& subscriber = *partitions_[src.config.subscriber];
+  trace(TracePoint::kTopExit, TraceCategory::kTopHandler, src.config.subscriber, sid,
+        event.seq);
 
   // The monitor observes *every* activation of the source (Algorithm 1 runs
   // per IRQ); its admission verdict is only consulted -- and its runtime
@@ -247,12 +252,24 @@ void Hypervisor::finish_top_handler(IrqSourceId sid, IrqEvent event) {
   bool admitted = false;
   if (src.monitor != nullptr) {
     admitted = src.monitor->record_and_check(event.raise_time);
+    if (trace_.ring().enabled()) {
+      const auto distance = src.monitor->last_observed_distance();
+      trace(admitted ? TracePoint::kMonitorAdmit : TracePoint::kMonitorDeny,
+            TraceCategory::kMonitor, src.config.subscriber, sid,
+            distance ? static_cast<std::uint64_t>(distance->count_ns()) : obs::kNoValue,
+            event.seq);
+    }
   }
   event.admitted_interpose = admitted;
 
   if (!subscriber.irq_queue().push(event)) {
+    trace(TracePoint::kIrqDrop, TraceCategory::kIrq, src.config.subscriber, sid,
+          event.seq, subscriber.irq_queue().drops());
     health_.report(HealthEvent{now(), HealthEventKind::kIrqQueueOverflow,
                                src.config.subscriber, sid});
+  } else {
+    trace(TracePoint::kIrqPush, TraceCategory::kIrq, src.config.subscriber, sid,
+          event.seq, subscriber.irq_queue().size());
   }
 
   if (event.arrived_in_own_slot) {
@@ -267,51 +284,57 @@ void Hypervisor::finish_top_handler(IrqSourceId sid, IrqEvent event) {
 
   // Modified top handler (Fig. 4b): pay the monitoring function, then decide.
   ++irq_path_stats_.monitor_checked;
-  run_hv_step(hw::WorkCategory::kMonitor, overheads_.monitor_cost(),
-              [this, sid, admitted] {
-                if (!admitted) {
-                  ++irq_path_stats_.denied_by_monitor;
-                  trace_.emit(now(), TraceCategory::kMonitor, "deny");
-                  health_.report(HealthEvent{now(), HealthEventKind::kMonitorViolation,
-                                             sources_[sid].config.subscriber, sid});
-                  return_to_partition();
-                  return;
-                }
-                if (interpose_ || slot_switch_pending_) {
-                  // Only one interposition at a time; an admitted event that
-                  // meets a busy engine falls back to delayed handling.
-                  ++irq_path_stats_.denied_engine_busy;
-                  return_to_partition();
-                  return;
-                }
-                if (!partitions_[sources_[sid].config.subscriber]->virtual_irq_enabled()) {
-                  // The subscriber guest masked its virtual interrupts
-                  // (critical section); interposing would deliver into it.
-                  ++irq_path_stats_.denied_guest_masked;
-                  return_to_partition();
-                  return;
-                }
-                if (partitions_[sources_[sid].config.subscriber]->bh_in_progress) {
-                  // The subscriber still has a partially executed bottom
-                  // handler (e.g. one that straddled its slot boundary). A
-                  // budget cannot guarantee its completion, and resuming it
-                  // in a foreign slot would chain stale work into other
-                  // partitions' time; deny and let it finish in its own slot.
-                  ++irq_path_stats_.denied_backlog;
-                  return_to_partition();
-                  return;
-                }
-                trace_.emit(now(), TraceCategory::kMonitor, "admit");
-                start_interpose(sid);
-              });
+  run_hv_step(
+      hw::WorkCategory::kMonitor, overheads_.monitor_cost(),
+      [this, sid, admitted, seq = event.seq] {
+        const PartitionId subscriber_id = sources_[sid].config.subscriber;
+        const auto deny = [this, sid, subscriber_id, seq](obs::InterposeDenyReason r) {
+          trace(TracePoint::kInterposeDeny, TraceCategory::kMonitor, subscriber_id, sid,
+                static_cast<std::uint64_t>(r), seq);
+        };
+        if (!admitted) {
+          ++irq_path_stats_.denied_by_monitor;
+          deny(obs::InterposeDenyReason::kMonitor);
+          health_.report(HealthEvent{now(), HealthEventKind::kMonitorViolation,
+                                     subscriber_id, sid});
+          return_to_partition();
+          return;
+        }
+        if (interpose_ || slot_switch_pending_) {
+          // Only one interposition at a time; an admitted event that
+          // meets a busy engine falls back to delayed handling.
+          ++irq_path_stats_.denied_engine_busy;
+          deny(obs::InterposeDenyReason::kEngineBusy);
+          return_to_partition();
+          return;
+        }
+        if (!partitions_[subscriber_id]->virtual_irq_enabled()) {
+          // The subscriber guest masked its virtual interrupts
+          // (critical section); interposing would deliver into it.
+          ++irq_path_stats_.denied_guest_masked;
+          deny(obs::InterposeDenyReason::kGuestMasked);
+          return_to_partition();
+          return;
+        }
+        if (partitions_[subscriber_id]->bh_in_progress) {
+          // The subscriber still has a partially executed bottom
+          // handler (e.g. one that straddled its slot boundary). A
+          // budget cannot guarantee its completion, and resuming it
+          // in a foreign slot would chain stale work into other
+          // partitions' time; deny and let it finish in its own slot.
+          ++irq_path_stats_.denied_backlog;
+          deny(obs::InterposeDenyReason::kBacklog);
+          return_to_partition();
+          return;
+        }
+        start_interpose(sid);
+      });
 }
 
 void Hypervisor::start_interpose(IrqSourceId sid) {
   assert(hv_busy_ && !interpose_);
   ++irq_path_stats_.interpose_started;
   const PartitionId target = sources_[sid].config.subscriber;
-  trace_.emit(now(), TraceCategory::kInterpose,
-              "enter partition " + partitions_[target]->name());
   run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.sched_manipulation_cost(),
               [this, sid, target] {
                 ++ctx_stats_.interpose_enter;
@@ -319,6 +342,8 @@ void Hypervisor::start_interpose(IrqSourceId sid) {
                   interpose_ = Interpose{current_partition_, sid,
                                          sources_[sid].config.c_bottom};
                   current_partition_ = target;
+                  trace(TracePoint::kInterposeEnter, TraceCategory::kInterpose, target,
+                        sid);
                   if (context_hook_) {
                     context_hook_(ContextChange{now(), current_partition_,
                                                 Reason::kInterposeEnter});
@@ -339,15 +364,14 @@ void Hypervisor::end_interpose() {
     // The TDMA boundary fired during the interposition; perform the deferred
     // switch now instead of returning home (the switch-back is subsumed).
     slot_switch_pending_ = false;
-    trace_.emit(now(), TraceCategory::kInterpose, "exit into deferred slot switch");
+    trace(TracePoint::kInterposeExitDeferred, TraceCategory::kInterpose, home);
     do_slot_switch();
     return;
   }
-  trace_.emit(now(), TraceCategory::kInterpose,
-              "return to partition " + partitions_[home]->name());
   ++ctx_stats_.interpose_return;
   context_switch_step([this, home] {
     current_partition_ = home;
+    trace(TracePoint::kInterposeReturn, TraceCategory::kInterpose, home);
     if (context_hook_) {
       context_hook_(ContextChange{now(), current_partition_, Reason::kInterposeReturn});
     }
@@ -365,7 +389,7 @@ void Hypervisor::service_tdma_tick() {
     if (interpose_ || partitions_[current_partition_]->bh_in_progress) {
       slot_switch_pending_ = true;
       ++irq_path_stats_.deferred_slot_switches;
-      trace_.emit(now(), TraceCategory::kScheduler, "slot switch deferred");
+      trace(TracePoint::kSlotDeferred, TraceCategory::kScheduler, current_partition_);
       health_.report(HealthEvent{now(), HealthEventKind::kDeferredBoundary,
                                  current_partition_, UINT32_MAX});
       return_to_partition();
@@ -383,10 +407,11 @@ void Hypervisor::do_slot_switch() {
   // re-fire.
   tdma_timer_->program_at(std::max(scheduler_->current_boundary(), now()));
   ++ctx_stats_.tdma;
-  trace_.emit(now(), TraceCategory::kScheduler,
-              "switch to partition " + partitions_[next]->name());
-  context_switch_step([this, next] {
+  context_switch_step([this, next, slot_index = scheduler_->current_index(),
+                       cycles = scheduler_->cycles_completed()] {
     current_partition_ = next;
+    trace(TracePoint::kSlotSwitch, TraceCategory::kScheduler, next, obs::kNoId,
+          slot_index, cycles);
     if (context_hook_) {
       context_hook_(ContextChange{now(), current_partition_, Reason::kTdmaSwitch});
     }
@@ -420,8 +445,9 @@ void Hypervisor::dispatch_partition_work() {
     IrqEvent ev = p.irq_queue().pop();
     const auto& cfg = sources_[ev.source].config;
     p.bh_in_progress = WorkUnit{hw::WorkCategory::kBottomHandler, cfg.c_bottom, nullptr, ev};
-    trace_.emit(now(), TraceCategory::kBottom,
-                "start " + cfg.name + " seq=" + std::to_string(ev.seq));
+    trace(TracePoint::kIrqPop, TraceCategory::kIrq, p.id(), ev.source, ev.seq,
+          p.irq_queue().size());
+    trace(TracePoint::kBottomStart, TraceCategory::kBottom, p.id(), ev.source, ev.seq);
   };
 
   WorkSlot slot;
@@ -439,9 +465,15 @@ void Hypervisor::dispatch_partition_work() {
         return;
       }
       pop_bh();
+    } else {
+      const IrqEvent& ev = *p.bh_in_progress->event;
+      trace(TracePoint::kBottomResume, TraceCategory::kBottom, p.id(), ev.source,
+            ev.seq);
     }
     slot = WorkSlot::kBottomHandler;
   } else if (p.bh_in_progress) {
+    const IrqEvent& ev = *p.bh_in_progress->event;
+    trace(TracePoint::kBottomResume, TraceCategory::kBottom, p.id(), ev.source, ev.seq);
     slot = WorkSlot::kBottomHandler;
   } else if (!p.irq_queue().empty() && p.virtual_irq_enabled()) {
     pop_bh();
@@ -519,9 +551,8 @@ void Hypervisor::complete_bottom_handler(Partition& p) {
   } else {
     rec.handling = stats::HandlingClass::kDelayed;
   }
-  trace_.emit(now(), TraceCategory::kBottom,
-              "done seq=" + std::to_string(ev.seq) + " (" +
-                  std::string(stats::to_string(rec.handling)) + ")");
+  trace(TracePoint::kBottomEnd, TraceCategory::kBottom, p.id(), ev.source, ev.seq,
+        static_cast<std::uint64_t>(rec.handling));
   if (completion_hook_) completion_hook_(rec);
   if (p.client() != nullptr) p.client()->on_bottom_handler_complete(ev);
   if (work.on_complete) work.on_complete();
@@ -571,6 +602,15 @@ void Hypervisor::on_slice_complete() {
   health_.report(HealthEvent{now(), HealthEventKind::kBudgetOverrun, r.partition,
                              w.event ? w.event->source : UINT32_MAX});
   end_interpose();
+}
+
+obs::TraceMeta Hypervisor::trace_meta() const {
+  obs::TraceMeta meta;
+  meta.partition_names.reserve(partitions_.size());
+  for (const auto& p : partitions_) meta.partition_names.push_back(p->name());
+  meta.source_names.reserve(sources_.size());
+  for (const auto& s : sources_) meta.source_names.push_back(s.config.name);
+  return meta;
 }
 
 }  // namespace rthv::hv

@@ -50,6 +50,8 @@
 #include "hv/types.hpp"
 #include "hw/platform.hpp"
 #include "mon/monitor.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/trace_log.hpp"
 #include "stats/latency_recorder.hpp"
 
@@ -218,6 +220,15 @@ class Hypervisor {
   [[nodiscard]] const IpcRouter& ipc() const { return *ipc_; }
 
   [[nodiscard]] sim::TraceLog& trace_log() { return trace_; }
+
+  /// Typed trace ring behind the log; every hypervisor hot path emits here
+  /// when tracing is enabled (set_enabled on either facade or ring).
+  [[nodiscard]] obs::TraceRing& trace_ring() { return trace_.ring(); }
+  [[nodiscard]] const obs::TraceRing& trace_ring() const { return trace_.ring(); }
+
+  /// Partition / source names for rendering trace snapshots.
+  [[nodiscard]] obs::TraceMeta trace_meta() const;
+
   [[nodiscard]] HealthMonitor& health() { return health_; }
   [[nodiscard]] const HealthMonitor& health() const { return health_; }
 
@@ -269,6 +280,14 @@ class Hypervisor {
   void complete_bottom_handler(Partition& p);
 
   [[nodiscard]] sim::TimePoint now() const;
+
+  /// Emit helper for instrumentation points; a disabled ring reduces this
+  /// to a handful of loads and one predictable branch.
+  void trace(obs::TracePoint point, obs::TraceCategory category,
+             std::uint32_t partition = obs::kNoId, std::uint32_t source = obs::kNoId,
+             std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) {
+    trace_.ring().emit(now().count_ns(), point, category, partition, source, arg0, arg1);
+  }
 
   hw::Platform& platform_;
   OverheadModel overheads_;

@@ -66,6 +66,7 @@ void LearningDeltaMonitor::finish_learning() {
 }
 
 bool LearningDeltaMonitor::record_and_check(sim::TimePoint now) {
+  observe_arrival(now);
   if (phase_ == Phase::kLearning) {
     learn(now);
     if (--learning_remaining_ == 0) finish_learning();

@@ -10,6 +10,7 @@ DeltaMinMonitor::DeltaMinMonitor(sim::Duration d_min) : d_min_(d_min) {
 }
 
 bool DeltaMinMonitor::record_and_check(sim::TimePoint now) {
+  observe_arrival(now);
   const bool admit = !has_previous_ || (now - previous_) >= d_min_;
   previous_ = now;
   has_previous_ = true;
@@ -46,6 +47,7 @@ void DeltaVectorMonitor::push(sim::TimePoint now) {
 }
 
 bool DeltaVectorMonitor::record_and_check(sim::TimePoint now) {
+  observe_arrival(now);
   const bool admit = peek(now);
   push(now);
   count(admit);

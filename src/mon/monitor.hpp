@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -39,12 +40,31 @@ class ActivationMonitor {
   [[nodiscard]] std::uint64_t denied() const { return denied_; }
   [[nodiscard]] std::uint64_t observed() const { return admitted_ + denied_; }
 
+  /// delta^- distance between the two most recent observed activations
+  /// (the consecutive-event distance the monitor just judged); empty until
+  /// two activations have been observed. Observability only -- no monitor
+  /// decision depends on it.
+  [[nodiscard]] std::optional<sim::Duration> last_observed_distance() const {
+    return last_distance_;
+  }
+
  protected:
+  /// Implementations call this from record_and_check for every activation,
+  /// admitted or not, *before* counting the verdict.
+  void observe_arrival(sim::TimePoint now) {
+    if (has_last_arrival_) last_distance_ = now - last_arrival_;
+    last_arrival_ = now;
+    has_last_arrival_ = true;
+  }
+
   void count(bool admit) { (admit ? admitted_ : denied_)++; }
 
  private:
   std::uint64_t admitted_ = 0;
   std::uint64_t denied_ = 0;
+  sim::TimePoint last_arrival_;
+  std::optional<sim::Duration> last_distance_;
+  bool has_last_arrival_ = false;
 };
 
 /// The l = 1 special case of the scheme: a single minimum distance d_min
@@ -91,7 +111,8 @@ class DeltaVectorMonitor final : public ActivationMonitor {
 /// keeping the counting interface).
 class AlwaysAdmitMonitor final : public ActivationMonitor {
  public:
-  bool record_and_check(sim::TimePoint) override {
+  bool record_and_check(sim::TimePoint now) override {
+    observe_arrival(now);
     count(true);
     return true;
   }

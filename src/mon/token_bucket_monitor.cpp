@@ -34,6 +34,7 @@ std::uint32_t TokenBucketMonitor::tokens_at(sim::TimePoint now) const {
 }
 
 bool TokenBucketMonitor::record_and_check(sim::TimePoint now) {
+  observe_arrival(now);
   refill(now);
   const bool admit = tokens_ > 0;
   if (admit) --tokens_;

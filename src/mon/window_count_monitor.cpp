@@ -11,6 +11,7 @@ WindowCountMonitor::WindowCountMonitor(sim::Duration window, std::uint32_t max_e
 }
 
 bool WindowCountMonitor::record_and_check(sim::TimePoint now) {
+  observe_arrival(now);
   // Admit iff the max_-th most recent admission is at least `window_` old
   // (i.e. fewer than max_ admissions fall into (now - window, now]).
   bool admit = true;

@@ -1,0 +1,38 @@
+// Offline renderers for TraceRing snapshots.
+//
+//  * render_text -- stable, diff-friendly one-line-per-event text form; the
+//    golden-trace regression tests compare this byte-for-byte.
+//  * write_chrome_trace -- Chrome trace-event JSON (load in Perfetto or
+//    chrome://tracing): one track per partition showing context occupancy
+//    and bottom-handler spans, one hypervisor track with top-handler spans
+//    and IRQ-queue instants, one monitor track with admit/deny instants.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace rthv::obs {
+
+/// Renders events oldest-first, one per line:
+///   t=<ns> <point> [<category>] part=<name> src=<name> a0=<v> a1=<v>
+/// part=/src= are omitted for kNoId; kNoValue payloads render as "-".
+/// With a null `meta`, ids render numerically -- the output is identical
+/// for identical event streams either way.
+void render_text(std::ostream& os, const std::vector<TraceEvent>& events,
+                 const TraceMeta* meta = nullptr);
+[[nodiscard]] std::string render_text(const std::vector<TraceEvent>& events,
+                                      const TraceMeta* meta = nullptr);
+
+/// Writes Chrome trace-event JSON. Every "B" gets a matching "E" (spans
+/// still open when the stream ends, or cut off by a context switch, are
+/// closed at the current timestamp), so per-track begin/end pairs always
+/// balance. `dropped` is recorded in otherData for honesty about ring
+/// wraparound.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const TraceMeta& meta, std::uint64_t dropped = 0);
+
+}  // namespace rthv::obs

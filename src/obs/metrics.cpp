@@ -1,0 +1,219 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace rthv::obs {
+
+namespace {
+
+// Metric names are identifiers chosen in-source, but escape defensively so
+// the JSON stays well-formed whatever ends up in a name.
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+template <typename Vec>
+auto* find_by_name(Vec& entries, std::string_view name) {
+  const auto it = std::find_if(entries.begin(), entries.end(),
+                               [name](const auto& e) { return e.name == name; });
+  return it == entries.end() ? nullptr : &*it;
+}
+
+}  // namespace
+
+void MetricsSnapshot::Histogram::observe(std::int64_t sample_ns) {
+  if (count == 0) {
+    min_ns = max_ns = sample_ns;
+  } else {
+    min_ns = std::min(min_ns, sample_ns);
+    max_ns = std::max(max_ns, sample_ns);
+  }
+  ++count;
+  sum_ns += sample_ns;
+  if (sample_ns < lo_ns) {
+    ++underflow;
+    return;
+  }
+  const auto bin = static_cast<std::uint64_t>(sample_ns - lo_ns) /
+                   static_cast<std::uint64_t>(width_ns);
+  if (bin >= buckets.size()) {
+    ++overflow;
+  } else {
+    ++buckets[static_cast<std::size_t>(bin)];
+  }
+}
+
+void MetricsSnapshot::add_counter(std::string_view name, std::uint64_t delta) {
+  if (auto* c = find_by_name(counters, name)) {
+    c->value += delta;
+    return;
+  }
+  counters.push_back(Counter{std::string(name), delta});
+}
+
+void MetricsSnapshot::set_gauge(std::string_view name, std::int64_t value) {
+  if (auto* g = find_by_name(gauges, name)) {
+    g->value = value;
+    return;
+  }
+  gauges.push_back(Gauge{std::string(name), value});
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& c : other.counters) add_counter(c.name, c.value);
+  for (const auto& g : other.gauges) set_gauge(g.name, g.value);
+  for (const auto& h : other.histograms) {
+    auto* mine = find_by_name(histograms, h.name);
+    if (mine == nullptr) {
+      histograms.push_back(h);
+      continue;
+    }
+    if (!mine->same_binning(h)) {
+      throw std::invalid_argument("MetricsSnapshot::merge: histogram '" + h.name +
+                                  "' binning mismatch");
+    }
+    for (std::size_t i = 0; i < mine->buckets.size(); ++i) {
+      mine->buckets[i] += h.buckets[i];
+    }
+    mine->underflow += h.underflow;
+    mine->overflow += h.overflow;
+    mine->sum_ns += h.sum_ns;
+    if (h.count > 0) {
+      mine->min_ns = mine->count > 0 ? std::min(mine->min_ns, h.min_ns) : h.min_ns;
+      mine->max_ns = mine->count > 0 ? std::max(mine->max_ns, h.max_ns) : h.max_ns;
+    }
+    mine->count += h.count;
+  }
+}
+
+const MetricsSnapshot::Counter* MetricsSnapshot::find_counter(std::string_view name) const {
+  return find_by_name(counters, name);
+}
+
+const MetricsSnapshot::Gauge* MetricsSnapshot::find_gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+
+const MetricsSnapshot::Histogram* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  const auto* c = find_counter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+void MetricsSnapshot::write_text(std::ostream& os) const {
+  for (const auto& c : counters) os << c.name << " " << c.value << "\n";
+  for (const auto& g : gauges) os << g.name << " " << g.value << "\n";
+  for (const auto& h : histograms) {
+    os << h.name << " count=" << h.count;
+    if (h.count > 0) {
+      os << " sum_ns=" << h.sum_ns << " min_ns=" << h.min_ns << " max_ns=" << h.max_ns;
+    }
+    os << " underflow=" << h.underflow << " overflow=" << h.overflow << "\n";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      const std::int64_t edge = h.lo_ns + static_cast<std::int64_t>(i) * h.width_ns;
+      os << "  [" << edge << ", " << edge + h.width_ns << ") " << h.buckets[i] << "\n";
+    }
+  }
+}
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << "{\n  \"schema\": \"rthv-metrics-v1\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(os, counters[i].name);
+    os << ": " << counters[i].value;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(os, gauges[i].name);
+    os << ": " << gauges[i].value;
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    os << (i == 0 ? "\n    " : ",\n    ");
+    write_json_string(os, h.name);
+    os << ": { \"lo_ns\": " << h.lo_ns << ", \"width_ns\": " << h.width_ns
+       << ", \"count\": " << h.count << ", \"sum_ns\": " << h.sum_ns
+       << ", \"min_ns\": " << (h.count > 0 ? h.min_ns : 0)
+       << ", \"max_ns\": " << (h.count > 0 ? h.max_ns : 0)
+       << ", \"underflow\": " << h.underflow << ", \"overflow\": " << h.overflow
+       << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      os << (b == 0 ? "" : ", ") << h.buckets[b];
+    }
+    os << "] }";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+MetricsRegistry::CounterHandle MetricsRegistry::counter(std::string_view name) {
+  for (std::size_t i = 0; i < data_.counters.size(); ++i) {
+    if (data_.counters[i].name == name) {
+      return CounterHandle{static_cast<std::uint32_t>(i)};
+    }
+  }
+  data_.counters.push_back(MetricsSnapshot::Counter{std::string(name), 0});
+  return CounterHandle{static_cast<std::uint32_t>(data_.counters.size() - 1)};
+}
+
+MetricsRegistry::GaugeHandle MetricsRegistry::gauge(std::string_view name) {
+  for (std::size_t i = 0; i < data_.gauges.size(); ++i) {
+    if (data_.gauges[i].name == name) {
+      return GaugeHandle{static_cast<std::uint32_t>(i)};
+    }
+  }
+  data_.gauges.push_back(MetricsSnapshot::Gauge{std::string(name), 0});
+  return GaugeHandle{static_cast<std::uint32_t>(data_.gauges.size() - 1)};
+}
+
+MetricsRegistry::HistogramHandle MetricsRegistry::histogram(std::string_view name,
+                                                            std::int64_t lo_ns,
+                                                            std::int64_t width_ns,
+                                                            std::uint32_t num_buckets) {
+  if (width_ns <= 0 || num_buckets == 0) {
+    throw std::invalid_argument("MetricsRegistry::histogram: invalid binning");
+  }
+  for (std::size_t i = 0; i < data_.histograms.size(); ++i) {
+    if (data_.histograms[i].name != name) continue;
+    const auto& h = data_.histograms[i];
+    if (h.lo_ns != lo_ns || h.width_ns != width_ns || h.buckets.size() != num_buckets) {
+      throw std::invalid_argument("MetricsRegistry::histogram: '" + std::string(name) +
+                                  "' re-registered with different binning");
+    }
+    return HistogramHandle{static_cast<std::uint32_t>(i)};
+  }
+  MetricsSnapshot::Histogram h;
+  h.name = std::string(name);
+  h.lo_ns = lo_ns;
+  h.width_ns = width_ns;
+  h.buckets.assign(num_buckets, 0);
+  data_.histograms.push_back(std::move(h));
+  return HistogramHandle{static_cast<std::uint32_t>(data_.histograms.size() - 1)};
+}
+
+}  // namespace rthv::obs

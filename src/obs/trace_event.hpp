@@ -1,0 +1,107 @@
+// Typed binary trace records (the observability substrate's vocabulary).
+//
+// A TraceEvent is a fixed-size POD: timestamp, an instrumentation point, a
+// coarse category (1:1 with the legacy sim::TraceCategory values), the
+// affected partition / IRQ source and two payload words whose meaning is
+// per-point (documented at each TracePoint enumerator). Keeping the record
+// POD and self-contained lets the ring buffer store events by value with no
+// allocation and lets exporters run entirely offline from a snapshot.
+//
+// This header is dependency-free (std only): time is a raw nanosecond
+// count, not sim::TimePoint, so the sim layer can sit *on top of* obs
+// without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace rthv::obs {
+
+/// "Not a partition / not a source" sentinel in TraceEvent id fields
+/// (matches hv::kInvalidPartition's all-ones value).
+inline constexpr std::uint32_t kNoId = UINT32_MAX;
+
+/// "No payload" sentinel for payload words that carry an optional quantity
+/// (e.g. the monitor's observed distance before two activations exist).
+inline constexpr std::uint64_t kNoValue = UINT64_MAX;
+
+/// Coarse event category. Values map 1:1 onto the legacy string TraceLog's
+/// categories; sim::TraceCategory is an alias of this enum.
+enum class TraceCategory : std::uint8_t {
+  kIrq,         // hardware IRQ queue traffic (push/pop/drop)
+  kTopHandler,  // hypervisor top-handler activity
+  kMonitor,     // monitor admit / deny decisions
+  kScheduler,   // TDMA slot switches, deferrals, restarts
+  kInterpose,   // interposed bottom-handler execution
+  kBottom,      // bottom-handler execution
+  kGuest,       // guest OS activity
+  kOther,       // health events, legacy string records
+  kCount_,
+};
+
+/// Precise instrumentation point. arg0/arg1 meanings are noted per point.
+enum class TracePoint : std::uint8_t {
+  kLegacy,            // routed through the deprecated string TraceLog API
+  kStart,             // hypervisor start(); partition = initial slot owner
+  kSlotSwitch,        // TDMA switch; arg0 = new slot index, arg1 = cycles done
+  kSlotDeferred,      // boundary deferred by a running bottom handler
+  kPartitionRestart,  // health-management restart of `partition`
+  kTopEnter,          // top handler begins; arg0 = seq
+  kTopExit,           // top handler's timed step ends; arg0 = seq
+  kMonitorAdmit,      // arg0 = observed delta^- distance ns (kNoValue if <2 obs), arg1 = seq
+  kMonitorDeny,       // same payload as kMonitorAdmit
+  kInterposeDeny,     // admitted but not interposed; arg0 = DenyReason, arg1 = seq
+  kInterposeEnter,    // context switched into the subscriber
+  kInterposeReturn,   // context switched back to the interrupted partition
+  kInterposeExitDeferred,  // interpose exit subsumed by a deferred slot switch
+  kIrqPush,           // event queued; arg0 = seq, arg1 = queue size after push
+  kIrqPop,            // event dequeued for its bottom handler; arg0 = seq, arg1 = size after pop
+  kIrqDrop,           // queue full, event dropped; arg0 = seq, arg1 = total drops
+  kBottomStart,       // bottom handler starts; arg0 = seq
+  kBottomResume,      // preempted/budget-split bottom handler resumes; arg0 = seq
+  kBottomEnd,         // bottom handler completed; arg0 = seq, arg1 = HandlingClass
+  kHealth,            // re-emitted health event; arg0 = HealthEventKind
+  kCount_,
+};
+
+/// Reason codes carried in kInterposeDeny's arg0.
+enum class InterposeDenyReason : std::uint8_t {
+  kMonitor,      // the delta^- condition failed
+  kEngineBusy,   // an interposition (or pending slot switch) was active
+  kGuestMasked,  // the subscriber masked its virtual interrupts
+  kBacklog,      // a partially executed bottom handler was pending
+  kCount_,
+};
+
+/// One 40-byte binary trace record.
+struct TraceEvent {
+  std::int64_t time_ns = 0;
+  TracePoint point = TracePoint::kLegacy;
+  TraceCategory category = TraceCategory::kOther;
+  std::uint16_t reserved0 = 0;  // explicit padding, always zero
+  std::uint32_t partition = kNoId;
+  std::uint32_t source = kNoId;
+  std::uint32_t reserved1 = 0;  // explicit padding, always zero
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+static_assert(sizeof(TraceEvent) == 40, "TraceEvent layout is part of the format");
+static_assert(std::is_trivially_copyable_v<TraceEvent>);
+static_assert(std::is_standard_layout_v<TraceEvent>);
+
+/// Optional id -> name mapping used by exporters; indices are partition /
+/// source ids. Ids beyond the vectors render numerically.
+struct TraceMeta {
+  std::vector<std::string> partition_names;
+  std::vector<std::string> source_names;
+};
+
+[[nodiscard]] std::string_view to_string(TraceCategory c);
+[[nodiscard]] std::string_view to_string(TracePoint p);
+[[nodiscard]] std::string_view to_string(InterposeDenyReason r);
+
+}  // namespace rthv::obs

@@ -1,59 +1,61 @@
-// Lightweight structured trace log for debugging and assertions in tests.
+// Facade over the typed obs::TraceRing kept for source compatibility.
 //
-// Components emit (time, category, message) records. Recording is off by
-// default; when off, emit() is a cheap early-out so production runs pay
-// almost nothing.
+// The original TraceLog stored (time, category, std::string) records;
+// call sites built the message string *before* the enabled check, which
+// put an allocation and formatting on every traced hot path. The log is
+// now a thin wrapper around a typed binary ring (see obs/trace_ring.hpp):
+// categories map 1:1, counting is O(1), rendering is offline, and the old
+// string-emitting entry point survives only as a deprecated shim that
+// records a typed kLegacy event (the message text is dropped).
+//
+// New instrumentation should emit typed events on ring() via RTHV_TRACE.
 #pragma once
 
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "obs/exporters.hpp"
+#include "obs/trace_event.hpp"
+#include "obs/trace_ring.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::sim {
 
-enum class TraceCategory : std::uint8_t {
-  kIrq,        // hardware IRQ raised / acknowledged
-  kTopHandler, // hypervisor top-handler activity
-  kMonitor,    // monitor admit / deny decisions
-  kScheduler,  // TDMA slot switches
-  kInterpose,  // interposed bottom-handler execution
-  kBottom,     // bottom-handler execution
-  kGuest,      // guest OS activity
-  kOther,
-};
-
-[[nodiscard]] std::string_view to_string(TraceCategory c);
+/// The trace vocabulary now lives in obs/ (shared with the typed ring);
+/// the old sim-qualified names keep compiling via these aliases.
+using TraceCategory = obs::TraceCategory;
+using obs::to_string;
 
 class TraceLog {
  public:
-  struct Record {
-    TimePoint time;
-    TraceCategory category;
-    std::string message;
-  };
+  explicit TraceLog(std::size_t capacity = obs::TraceRing::kDefaultCapacity)
+      : ring_(capacity) {}
 
-  void set_enabled(bool on) { enabled_ = on; }
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { ring_.set_enabled(on); }
+  [[nodiscard]] bool enabled() const { return ring_.enabled(); }
 
-  void emit(TimePoint t, TraceCategory c, std::string msg) {
-    if (!enabled_) return;
-    records_.push_back(Record{t, c, std::move(msg)});
+  /// The typed ring behind this log; instrumentation emits here.
+  [[nodiscard]] obs::TraceRing& ring() { return ring_; }
+  [[nodiscard]] const obs::TraceRing& ring() const { return ring_; }
+
+  [[deprecated("emit typed events via ring() / RTHV_TRACE; the message text is dropped")]]
+  void emit(TimePoint t, TraceCategory c, std::string_view /*message*/ = {}) {
+    RTHV_TRACE(ring_, t.count_ns(), obs::TracePoint::kLegacy, c);
   }
 
-  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  /// Number of records emitted in a category (O(1); survives wraparound).
+  [[nodiscard]] std::size_t count(TraceCategory c) const {
+    return static_cast<std::size_t>(ring_.category_count(c));
+  }
 
-  /// Number of records in a given category (handy for test assertions).
-  [[nodiscard]] std::size_t count(TraceCategory c) const;
+  /// Renders the retained events as obs::render_text lines (ids numeric;
+  /// use obs::render_text with a TraceMeta for named output).
+  [[nodiscard]] std::string render() const { return obs::render_text(ring_.snapshot()); }
 
-  /// Renders all records as "t=...us [cat] msg" lines.
-  [[nodiscard]] std::string render() const;
+  void clear() { ring_.clear(); }
 
  private:
-  bool enabled_ = false;
-  std::vector<Record> records_;
+  obs::TraceRing ring_;
 };
 
 }  // namespace rthv::sim

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/exporters.hpp"
+
 namespace rthv::stats {
 
 namespace {
@@ -64,6 +66,25 @@ void write_series_gnuplot(const std::string& script_path, const std::string& csv
        << (i + 2) << " with lines lw 2";
   }
   os << "\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<obs::TraceEvent>& events,
+                             const obs::TraceMeta& meta, std::uint64_t dropped) {
+  auto os = open_or_throw(path);
+  obs::write_chrome_trace(os, events, meta, dropped);
+}
+
+void write_metrics_json_file(const std::string& path,
+                             const obs::MetricsSnapshot& snap) {
+  auto os = open_or_throw(path);
+  snap.write_json(os);
+}
+
+void write_metrics_text_file(const std::string& path,
+                             const obs::MetricsSnapshot& snap) {
+  auto os = open_or_throw(path);
+  snap.write_text(os);
 }
 
 }  // namespace rthv::stats

@@ -2,9 +2,12 @@
 // scripts that regenerate the paper's figures from the bench outputs.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "stats/histogram.hpp"
 
 namespace rthv::stats {
@@ -27,5 +30,18 @@ void write_histogram_gnuplot(const std::string& script_path, const std::string& 
 /// x axis (IRQ events), each further column one curve.
 void write_series_gnuplot(const std::string& script_path, const std::string& csv_path,
                           const std::string& title, std::size_t num_series);
+
+/// Writes a trace snapshot as Chrome trace-event JSON (load in Perfetto or
+/// chrome://tracing): one track per partition plus hypervisor/monitor
+/// tracks. `dropped` is recorded under "otherData".
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<obs::TraceEvent>& events,
+                             const obs::TraceMeta& meta, std::uint64_t dropped = 0);
+
+/// Writes a metrics snapshot as "rthv-metrics-v1" JSON.
+void write_metrics_json_file(const std::string& path, const obs::MetricsSnapshot& snap);
+
+/// Writes a metrics snapshot as a human-readable text dump.
+void write_metrics_text_file(const std::string& path, const obs::MetricsSnapshot& snap);
 
 }  // namespace rthv::stats

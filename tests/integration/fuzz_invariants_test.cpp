@@ -39,7 +39,8 @@ TEST_P(FuzzInvariantsTest, RandomSystemHoldsInvariants) {
   const auto num_partitions = static_cast<std::uint32_t>(rng.uniform_int(2, 4));
   for (std::uint32_t p = 0; p < num_partitions; ++p) {
     PartitionSpec spec;
-    spec.name = "p" + std::to_string(p);
+    spec.name = "p";
+    spec.name += std::to_string(p);
     spec.slot_length = Duration::us(static_cast<std::int64_t>(rng.uniform_int(500, 4000)));
     spec.background_load = rng.uniform01() < 0.7;
     cfg.partitions.push_back(spec);
@@ -49,7 +50,8 @@ TEST_P(FuzzInvariantsTest, RandomSystemHoldsInvariants) {
                                    : hv::TopHandlerMode::kOriginal;
   for (std::uint32_t s = 0; s < num_sources; ++s) {
     IrqSourceSpec src;
-    src.name = "src" + std::to_string(s);
+    src.name = "src";
+    src.name += std::to_string(s);
     src.subscriber = static_cast<std::uint32_t>(rng.uniform_int(0, num_partitions - 1));
     src.c_top = Duration::us(static_cast<std::int64_t>(rng.uniform_int(1, 10)));
     src.c_bottom = Duration::us(static_cast<std::int64_t>(rng.uniform_int(5, 60)));

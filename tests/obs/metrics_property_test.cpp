@@ -1,0 +1,224 @@
+// Property tests for the observability layer's determinism contracts:
+//  * TraceRing wraparound keeps exactly the newest `capacity` events and
+//    accounts every overwritten one (dropped == emitted - size);
+//  * RTHV_TRACE does not evaluate its arguments while disabled (the
+//    zero-observer-effect guarantee rests on this);
+//  * merging per-shard MetricsSnapshots in shard order is bit-identical to
+//    observing the same sample stream in one registry, for any shard split
+//    (the SweepRunner jobs-independence contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace rthv::obs {
+namespace {
+
+TEST(TraceRingTest, DisabledRingIsFreeAndEmpty) {
+  TraceRing ring(8);
+  EXPECT_FALSE(ring.enabled());
+  ring.emit(1, TracePoint::kIrqPush, TraceCategory::kIrq);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.emitted(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, MacroSkipsArgumentEvaluationWhileDisabled) {
+  TraceRing ring(8);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::int64_t{42};
+  };
+  RTHV_TRACE(ring, expensive(), TracePoint::kIrqPush, TraceCategory::kIrq);
+  EXPECT_EQ(evaluations, 0) << "disabled tracing must not evaluate arguments";
+  ring.set_enabled(true);
+  RTHV_TRACE(ring, expensive(), TracePoint::kIrqPush, TraceCategory::kIrq);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(ring.snapshot().at(0).time_ns, 42);
+}
+
+TEST(TraceRingTest, WraparoundKeepsNewestAndCountsDrops) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::int64_t kEmitted = 20;
+  TraceRing ring(kCapacity);
+  ring.set_enabled(true);
+  for (std::int64_t t = 0; t < kEmitted; ++t) {
+    ring.emit(t, TracePoint::kIrqPush, TraceCategory::kIrq, 0, 0,
+              static_cast<std::uint64_t>(t));
+  }
+  EXPECT_EQ(ring.size(), kCapacity);
+  EXPECT_EQ(ring.emitted(), static_cast<std::uint64_t>(kEmitted));
+  EXPECT_EQ(ring.dropped(), ring.emitted() - ring.size());
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_EQ(events[i].time_ns, kEmitted - static_cast<std::int64_t>(kCapacity - i))
+        << "snapshot must hold the newest events, oldest first";
+  }
+  EXPECT_EQ(ring.category_count(TraceCategory::kIrq),
+            static_cast<std::uint64_t>(kEmitted))
+      << "category counters survive wraparound";
+}
+
+TEST(TraceRingTest, DropInvariantHoldsAtEveryStep) {
+  std::mt19937_64 rng(7);
+  for (const std::size_t capacity : {1u, 2u, 5u, 16u}) {
+    TraceRing ring(capacity);
+    ring.set_enabled(true);
+    const std::uint64_t n = 3 * capacity + rng() % 10;
+    for (std::uint64_t t = 0; t < n; ++t) {
+      ring.emit(static_cast<std::int64_t>(t), TracePoint::kLegacy,
+                TraceCategory::kOther);
+      ASSERT_EQ(ring.dropped(), ring.emitted() - ring.size());
+    }
+  }
+}
+
+TEST(TraceRingTest, ClearKeepsEnabledAndCapacity) {
+  TraceRing ring(4);
+  ring.set_enabled(true);
+  ring.emit(1, TracePoint::kLegacy, TraceCategory::kOther);
+  ring.clear();
+  EXPECT_TRUE(ring.enabled());
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.emitted(), 0u);
+  EXPECT_EQ(ring.category_count(TraceCategory::kOther), 0u);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAndO1) {
+  MetricsRegistry reg;
+  const auto c1 = reg.counter("a");
+  const auto c2 = reg.counter("a");
+  EXPECT_EQ(c1.index, c2.index) << "re-registration returns the same handle";
+  reg.add(c1, 3);
+  reg.add(c2);
+  EXPECT_EQ(reg.value(c1), 4u);
+
+  const auto h1 = reg.histogram("h", 0, 100, 10);
+  const auto h2 = reg.histogram("h", 0, 100, 10);
+  EXPECT_EQ(h1.index, h2.index);
+  EXPECT_THROW((void)reg.histogram("h", 0, 200, 10), std::invalid_argument)
+      << "rebinning an existing histogram must throw";
+}
+
+TEST(MetricsSnapshotTest, HistogramObserveBinsCorrectly) {
+  MetricsRegistry reg;
+  const auto h = reg.histogram("lat", 100, 50, 4);  // [100,150) ... [250,300)
+  reg.observe(h, 99);    // underflow
+  reg.observe(h, 100);   // bucket 0
+  reg.observe(h, 149);   // bucket 0
+  reg.observe(h, 250);   // bucket 3
+  reg.observe(h, 300);   // overflow
+  reg.observe(h, 5000);  // overflow
+  const auto snap = reg.snapshot();
+  const auto* hist = snap.find_histogram("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->underflow, 1u);
+  EXPECT_EQ(hist->overflow, 2u);
+  EXPECT_EQ(hist->buckets[0], 2u);
+  EXPECT_EQ(hist->buckets[1], 0u);
+  EXPECT_EQ(hist->buckets[3], 1u);
+  EXPECT_EQ(hist->count, 6u);
+  EXPECT_EQ(hist->min_ns, 99);
+  EXPECT_EQ(hist->max_ns, 5000);
+  EXPECT_EQ(hist->sum_ns, 99 + 100 + 149 + 250 + 300 + 5000);
+}
+
+TEST(MetricsSnapshotTest, MergeRejectsBinningMismatch) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  (void)a.histogram("h", 0, 100, 10);
+  (void)b.histogram("h", 0, 100, 11);
+  auto snap = a.snapshot();
+  EXPECT_THROW(snap.merge(b.snapshot()), std::invalid_argument);
+}
+
+TEST(MetricsSnapshotTest, GaugeMergeIsLastWriteWins) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.set(a.gauge("g"), 1);
+  b.set(b.gauge("g"), 2);
+  auto snap = a.snapshot();
+  snap.merge(b.snapshot());
+  const auto* g = snap.find_gauge("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, 2);
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  snap.write_json(os);
+  return os.str();
+}
+
+// Observe `samples` into a fresh registry (one counter + one histogram).
+MetricsSnapshot observe_all(const std::vector<std::int64_t>& samples) {
+  MetricsRegistry reg;
+  const auto c = reg.counter("events");
+  const auto h = reg.histogram("latency", 0, 1000, 32);
+  for (const std::int64_t s : samples) {
+    reg.add(c);
+    reg.observe(h, s);
+  }
+  return reg.snapshot();
+}
+
+TEST(MetricsSnapshotTest, ShardedMergeEqualsSingleShardForAnySplit) {
+  std::mt19937_64 rng(2014);
+  std::uniform_int_distribution<std::int64_t> sample(-500, 40'000);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng() % 200;
+    std::vector<std::int64_t> samples(n);
+    for (auto& s : samples) s = sample(rng);
+    const std::string expected = to_json(observe_all(samples));
+
+    // Split the stream at random boundaries into 1..8 ordered shards.
+    const std::size_t shards = 1 + rng() % 8;
+    std::vector<std::size_t> cuts{0, n};
+    for (std::size_t i = 1; i < shards; ++i) cuts.push_back(rng() % (n + 1));
+    std::sort(cuts.begin(), cuts.end());
+
+    MetricsSnapshot merged;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const std::vector<std::int64_t> shard(
+          samples.begin() + static_cast<std::ptrdiff_t>(cuts[i]),
+          samples.begin() + static_cast<std::ptrdiff_t>(cuts[i + 1]));
+      merged.merge(observe_all(shard));
+    }
+    ASSERT_EQ(to_json(merged), expected)
+        << "trial " << trial << ": merged shards must serialize bit-identically";
+  }
+}
+
+TEST(MetricsSnapshotTest, TextAndJsonDumpsAreDeterministic) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("z.last"), 1);
+  reg.add(reg.counter("a.first"), 2);
+  reg.set(reg.gauge("now"), -5);
+  reg.observe(reg.histogram("h", 0, 10, 2), 3);
+  const auto snap = reg.snapshot();
+  const std::string json = to_json(snap);
+  EXPECT_EQ(json, to_json(snap));
+  EXPECT_NE(json.find("\"schema\": \"rthv-metrics-v1\""), std::string::npos);
+  // Insertion order, not alphabetical: z.last registered first.
+  EXPECT_LT(json.find("z.last"), json.find("a.first"));
+  std::ostringstream text;
+  snap.write_text(text);
+  EXPECT_NE(text.str().find("a.first 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rthv::obs

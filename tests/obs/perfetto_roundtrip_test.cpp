@@ -1,0 +1,292 @@
+// Round-trip test for the Chrome trace-event export: the JSON must parse,
+// every track's events must be time-sorted, and duration events must
+// balance (each "E" closes exactly one "B" on its track, none left open).
+// A hand-rolled recursive-descent parser keeps the test dependency-free;
+// it covers the JSON subset the exporter emits (objects, arrays, strings
+// with backslash escapes, numbers, booleans/null are not produced).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/hypervisor_system.hpp"
+#include "obs/exporters.hpp"
+#include "workload/generators.hpp"
+
+namespace rthv {
+namespace {
+
+using sim::Duration;
+
+// --- minimal JSON parser ----------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::monostate, double, std::string, JsonObject, JsonArray> v;
+
+  [[nodiscard]] const JsonObject& obj() const { return std::get<JsonObject>(v); }
+  [[nodiscard]] const JsonArray& arr() const { return std::get<JsonArray>(v); }
+  [[nodiscard]] const std::string& str() const { return std::get<std::string>(v); }
+  [[nodiscard]] double num() const { return std::get<double>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      default: return JsonValue{number()};
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{std::move(out)};
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      out.emplace(std::move(key), value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{std::move(out)};
+    }
+    while (true) {
+      out.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue{std::move(out)};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default: throw std::runtime_error("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) throw std::runtime_error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- fixture ----------------------------------------------------------------
+
+std::string export_monitored_run() {
+  auto cfg = core::SystemConfig::paper_baseline();
+  cfg.mode = hv::TopHandlerMode::kInterposing;
+  cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+  cfg.sources[0].d_min = Duration::us(1444);
+  core::HypervisorSystem system(cfg);
+  system.enable_tracing();
+  workload::ExponentialTraceGenerator gen(Duration::us(1444), 2014);
+  system.attach_trace(0, gen.generate(120));
+  system.run(Duration::s(10));
+  std::ostringstream os;
+  obs::write_chrome_trace(os, system.trace(), system.trace_meta(),
+                          system.trace_dropped());
+  return os.str();
+}
+
+class PerfettoRoundtripTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    json_ = new std::string(export_monitored_run());
+    root_ = new JsonValue(JsonParser(*json_).parse());
+  }
+  static void TearDownTestSuite() {
+    delete root_;
+    delete json_;
+    root_ = nullptr;
+    json_ = nullptr;
+  }
+
+  static std::string* json_;
+  static JsonValue* root_;
+};
+
+std::string* PerfettoRoundtripTest::json_ = nullptr;
+JsonValue* PerfettoRoundtripTest::root_ = nullptr;
+
+TEST_F(PerfettoRoundtripTest, ParsesAndHasTopLevelShape) {
+  const auto& top = root_->obj();
+  ASSERT_TRUE(top.contains("traceEvents"));
+  ASSERT_TRUE(top.contains("otherData"));
+  EXPECT_EQ(top.at("displayTimeUnit").str(), "ms");
+  EXPECT_TRUE(top.at("otherData").obj().contains("dropped_events"));
+  EXPECT_GT(top.at("traceEvents").arr().size(), 100u);
+}
+
+TEST_F(PerfettoRoundtripTest, HasProcessAndThreadMetadata) {
+  bool process_named = false;
+  std::map<double, std::string> thread_names;
+  for (const auto& ev : root_->obj().at("traceEvents").arr()) {
+    const auto& e = ev.obj();
+    if (e.at("ph").str() != "M") continue;
+    if (e.at("name").str() == "process_name") {
+      process_named = true;
+      EXPECT_EQ(e.at("args").obj().at("name").str(), "rthv");
+    } else if (e.at("name").str() == "thread_name") {
+      thread_names[e.at("tid").num()] = e.at("args").obj().at("name").str();
+    }
+  }
+  EXPECT_TRUE(process_named);
+  EXPECT_EQ(thread_names[1000], "hypervisor");
+  EXPECT_EQ(thread_names[1001], "monitor");
+  // The baseline has three partitions on tids 1..3.
+  EXPECT_EQ(thread_names.count(1), 1u);
+  EXPECT_EQ(thread_names.count(2), 1u);
+  EXPECT_EQ(thread_names.count(3), 1u);
+}
+
+TEST_F(PerfettoRoundtripTest, EventsTimeSortedPerTrackAndSpansBalance) {
+  std::map<double, double> last_ts;
+  std::map<double, std::int64_t> open_spans;
+  for (const auto& ev : root_->obj().at("traceEvents").arr()) {
+    const auto& e = ev.obj();
+    const std::string& ph = e.at("ph").str();
+    if (ph == "M") continue;
+    const double tid = e.at("tid").num();
+    const double ts = e.at("ts").num();
+    if (last_ts.contains(tid)) {
+      EXPECT_GE(ts, last_ts[tid]) << "track " << tid << " not time-sorted";
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") {
+      ++open_spans[tid];
+      EXPECT_FALSE(e.at("name").str().empty());
+    } else if (ph == "E") {
+      --open_spans[tid];
+      EXPECT_GE(open_spans[tid], 0) << "E without matching B on track " << tid;
+    } else {
+      EXPECT_EQ(ph, "i") << "unexpected phase " << ph;
+    }
+  }
+  for (const auto& [tid, open] : open_spans) {
+    EXPECT_EQ(open, 0) << "track " << tid << " ends with unbalanced spans";
+  }
+}
+
+TEST_F(PerfettoRoundtripTest, MonitorTrackCarriesDecisions) {
+  std::size_t admits = 0;
+  std::size_t instants_on_monitor = 0;
+  for (const auto& ev : root_->obj().at("traceEvents").arr()) {
+    const auto& e = ev.obj();
+    if (e.at("ph").str() != "i") continue;
+    if (e.at("tid").num() == 1001) {
+      ++instants_on_monitor;
+      const std::string& name = e.at("name").str();
+      EXPECT_TRUE(name == "mon-admit" || name == "mon-deny" ||
+                  name == "interpose-deny")
+          << "unexpected monitor-track event " << name;
+      if (name == "mon-admit") {
+        ++admits;
+        EXPECT_TRUE(e.at("args").obj().contains("seq"));
+      }
+    }
+  }
+  EXPECT_GT(instants_on_monitor, 0u);
+  EXPECT_GT(admits, 0u) << "monitored baseline should admit interpositions";
+}
+
+TEST_F(PerfettoRoundtripTest, EmptyTraceStillParses) {
+  std::ostringstream os;
+  obs::write_chrome_trace(os, {}, obs::TraceMeta{}, 0);
+  const std::string text = os.str();
+  const JsonValue root = JsonParser(text).parse();
+  // Only metadata events (process + hypervisor/monitor tracks).
+  for (const auto& ev : root.obj().at("traceEvents").arr()) {
+    EXPECT_EQ(ev.obj().at("ph").str(), "M");
+  }
+}
+
+}  // namespace
+}  // namespace rthv

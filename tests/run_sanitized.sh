@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Builds and runs the test suite under sanitizers:
 #   1. ASan + UBSan (RTHV_SANITIZE=ON) over the full suite
-#   2. TSan (RTHV_TSAN=ON) over the threaded exp/ tests (optional, pass --tsan)
+#   2. TSan (RTHV_TSAN=ON) over the threaded exp/ tests and the
+#      observability suite (ctest -L obs) -- optional, pass --tsan
 #
 # usage: tests/run_sanitized.sh [--tsan] [jobs]
 set -euo pipefail
@@ -23,10 +24,11 @@ cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== TSan build (threaded exp/ tests) =="
+  echo "== TSan build (threaded exp/ + obs tests) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_TSAN=ON
-  cmake --build build-tsan -j "$jobs" --target test_exp
+  cmake --build build-tsan -j "$jobs" --target test_exp test_obs
   ctest --test-dir build-tsan --output-on-failure -R 'ThreadPool|SweepRunner'
+  ctest --test-dir build-tsan --output-on-failure -L obs
 fi
 
 echo "sanitized runs passed"
