@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full CI gate, runnable locally:
+#   1. configure + build with warnings-as-errors (RTHV_WERROR=ON)
+#   2. tier-1 test suite (ctest)
+#   3. static analysis: rthv_lint (self-test + src/ + bench/) and, when
+#      installed, clang-tidy over the files changed vs the merge base
+#      (all of src/ on a fresh checkout).
+#
+# usage: ci/run_ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="${1:-$(nproc 2>/dev/null || echo 1)}"
+
+echo "== configure + build (RTHV_WERROR=ON) =="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRTHV_WERROR=ON \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake --build build-ci -j "$jobs"
+
+echo "== tier-1 tests =="
+ctest --test-dir build-ci --output-on-failure -j "$jobs"
+
+echo "== static analysis =="
+python3 tools/rthv_lint/rthv_lint.py --self-test
+python3 tools/rthv_lint/rthv_lint.py src bench
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Only lint C++ sources changed vs the merge base; full-tree tidy is the
+  # run_static_analysis.sh default instead.
+  base="$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse 'HEAD~1' 2>/dev/null || echo '')"
+  changed=()
+  if [[ -n "$base" ]]; then
+    mapfile -t changed < <(git diff --name-only "$base" -- 'src/**/*.cpp' 'src/*.cpp' | sort)
+  fi
+  if [[ ${#changed[@]} -eq 0 ]]; then
+    mapfile -t changed < <(find src -name '*.cpp' | sort)
+  fi
+  echo "== clang-tidy (${#changed[@]} files) =="
+  clang-tidy -p build-ci --quiet "${changed[@]}"
+else
+  echo "== clang-tidy not installed; skipped =="
+fi
+
+echo "CI gate passed"

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checked.hpp"
 #include "core/config_loader.hpp"
 #include "core/hypervisor_system.hpp"
 #include "hv/overhead_model.hpp"
@@ -161,7 +162,12 @@ int main(int argc, char** argv) {
                 << " events, " << system.trace_dropped() << " dropped)\n";
     }
     if (!metrics_out.empty()) {
-      const auto snap = system.metrics_snapshot();
+      auto snap = system.metrics_snapshot();
+      // Release-mode contract violations (zero on any correct run); see
+      // ARCHITECTURE.md section 10.
+      for (const auto& [name, n] : core::InvariantCounters::instance().snapshot()) {
+        snap.add_counter("invariant/violations/" + name, n);
+      }
       if (metrics_out.ends_with(".txt")) {
         stats::write_metrics_text_file(metrics_out, snap);
       } else {

@@ -1,13 +1,14 @@
 #include "analysis/arrival_curve.hpp"
 
-#include <cassert>
 #include <utility>
+
+#include "core/checked.hpp"
 
 namespace rthv::analysis {
 
 ArrivalCurve::ArrivalCurve(std::shared_ptr<const MinDistanceFunction> delta)
     : delta_(std::move(delta)) {
-  assert(delta_ != nullptr);
+  RTHV_PRECONDITION(delta_ != nullptr, "analysis/arrival-curve-delta-set");
 }
 
 std::uint64_t ArrivalCurve::operator()(sim::Duration dt) const {
@@ -15,11 +16,16 @@ std::uint64_t ArrivalCurve::operator()(sim::Duration dt) const {
   const auto& d = *delta_;
   // Exponential search for an upper bound, then binary search for the
   // largest q with delta^-(q) < dt. delta^- must grow unboundedly (positive
-  // d_min), which all our models guarantee.
+  // d_min), which all our models guarantee. A window needing more than 2^40
+  // events is outside any physically meaningful configuration: report
+  // non-convergence instead of searching (or wrapping) forever.
   std::uint64_t hi = 2;
   while (d(hi) < dt) {
     hi *= 2;
-    assert(hi < (1ULL << 40) && "arrival curve did not converge -- d_min zero?");
+    if (hi >= (1ULL << 40)) {
+      throw core::TickDomainError(
+          "arrival curve did not converge -- d_min zero or window too large");
+    }
   }
   std::uint64_t lo = 1;  // delta^-(1) = 0 < dt always holds
   while (lo + 1 < hi) {

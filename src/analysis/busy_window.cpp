@@ -3,22 +3,28 @@
 #include <cassert>
 #include <utility>
 
+#include "core/checked.hpp"
+
 namespace rthv::analysis {
 
 InterferenceTerm load_interference(ArrivalCurve eta, sim::Duration cost) {
   return [eta = std::move(eta), cost](sim::Duration w) {
-    return cost * static_cast<std::int64_t>(eta(w));
+    return core::checked_mul(cost, eta(w), "analysis/load-interference");
   };
 }
 
 BusyWindowSolver::BusyWindowSolver(BusyWindowProblem problem)
     : problem_(std::move(problem)) {
-  assert(!problem_.per_event_cost.is_negative());
+  RTHV_PRECONDITION(!problem_.per_event_cost.is_negative(),
+                    "analysis/busy-window-cost-nonnegative");
 }
 
 sim::Duration BusyWindowSolver::rhs(std::uint64_t q, sim::Duration w) const {
-  sim::Duration total = problem_.per_event_cost * static_cast<std::int64_t>(q);
-  for (const auto& term : problem_.interference) total += term(w);
+  sim::Duration total =
+      core::checked_mul(problem_.per_event_cost, q, "analysis/busy-window-own-load");
+  for (const auto& term : problem_.interference) {
+    total = core::checked_add(total, term(w), "analysis/busy-window-interference");
+  }
   return total;
 }
 
@@ -26,12 +32,13 @@ std::optional<sim::Duration> BusyWindowSolver::busy_time(std::uint64_t q) const 
   assert(q >= 1);
   // Standard fixed-point iteration from below: start with the pure own load
   // (a positive seed so window-dependent terms see a non-empty window).
-  sim::Duration w = problem_.per_event_cost * static_cast<std::int64_t>(q);
+  sim::Duration w =
+      core::checked_mul(problem_.per_event_cost, q, "analysis/busy-window-seed");
   if (!w.is_positive()) w = sim::Duration::ns(1);
   for (std::uint32_t it = 0; it < problem_.max_iterations; ++it) {
     const sim::Duration next = rhs(q, w);
     if (next == w) return w;
-    assert(next > w && "busy-window iteration must be monotone");
+    RTHV_INVARIANT(next > w, "analysis/busy-window-monotone");
     if (next > problem_.divergence_cap) return std::nullopt;
     w = next;
   }
@@ -52,7 +59,8 @@ std::optional<ResponseTimeResult> response_time(const BusyWindowProblem& problem
     if (!w) return std::nullopt;  // diverged: no bounded response time
     out.busy_times.push_back(*w);
     out.q_max = q;
-    const sim::Duration r = *w - own_delta(q);
+    const sim::Duration r =
+        core::checked_sub(*w, own_delta(q), "analysis/response-time");
     if (r > out.worst_case || out.critical_q == 0) {
       out.worst_case = r;
       out.critical_q = q;

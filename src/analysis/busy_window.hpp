@@ -63,6 +63,12 @@ struct ResponseTimeResult {
 /// `own_delta`: evaluates W(q) for q = 1, 2, ... while activation q + 1
 /// still falls into the busy period (delta^-(q+1) <= W(q)) and maximizes
 /// W(q) - delta^-(q). Returns std::nullopt on divergence.
+///
+/// All tick arithmetic is routed through core/checked.hpp: if a window or
+/// interference term leaves the 64-bit tick range the iteration throws
+/// core::TickOverflow (and non-convergent arrival-curve inversions throw
+/// core::TickDomainError) instead of silently wrapping into a
+/// plausible-looking bound.
 [[nodiscard]] std::optional<ResponseTimeResult> response_time(
     const BusyWindowProblem& problem,
     const MinDistanceFunction& own_delta,

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/checked.hpp"
+
 namespace rthv::analysis {
 
 std::optional<ChainResult> gateway_chain_latency(const GatewayChain& chain) {
@@ -17,9 +19,11 @@ std::optional<ChainResult> gateway_chain_latency(const GatewayChain& chain) {
 
   // Best case: the IRQ lands in its subscriber's idle slot and is handled
   // directly -- top handler plus bottom handler, no monitor, no switches.
-  const sim::Duration best_case = chain.irq.c_top + chain.irq.c_bottom;
-  assert(r1->worst_case >= best_case);
-  const sim::Duration jitter = r1->worst_case - best_case;
+  const sim::Duration best_case =
+      core::checked_add(chain.irq.c_top, chain.irq.c_bottom, "analysis/chain-best");
+  RTHV_INVARIANT(r1->worst_case >= best_case, "analysis/chain-worst-above-best");
+  const sim::Duration jitter =
+      core::checked_sub(r1->worst_case, best_case, "analysis/chain-jitter");
 
   // --- stage 2: consumer task under the propagated activation model ----------
   // Consecutive bottom-handler completions are at least C_BH apart (FIFO
@@ -34,7 +38,8 @@ std::optional<ChainResult> gateway_chain_latency(const GatewayChain& chain) {
   out.irq_stage = r1->worst_case;
   out.irq_jitter = jitter;
   out.consumer_stage = *r2;
-  out.end_to_end = r1->worst_case + *r2;
+  out.end_to_end =
+      core::checked_add(r1->worst_case, *r2, "analysis/chain-end-to-end");
   return out;
 }
 

@@ -3,30 +3,42 @@
 #include <cassert>
 #include <utility>
 
+#include "core/checked.hpp"
+
 namespace rthv::analysis {
 
 sim::Duration effective_bottom_cost(sim::Duration c_bottom, const OverheadTimes& oh) {
-  return c_bottom + oh.c_sched + 2 * oh.c_ctx;
+  // C'_BH = C_BH + C_sched + 2 * C_ctx (Eq. 8).
+  const sim::Duration switches =
+      core::checked_mul(oh.c_ctx, std::int64_t{2}, "analysis/effective-bottom");
+  return core::checked_add(core::checked_add(c_bottom, oh.c_sched,
+                                             "analysis/effective-bottom"),
+                           switches, "analysis/effective-bottom");
 }
 
 sim::Duration effective_top_cost(sim::Duration c_top, const OverheadTimes& oh) {
-  return c_top + oh.c_mon;
+  return core::checked_add(c_top, oh.c_mon, "analysis/effective-top");
 }
 
 sim::Duration tdma_interference(sim::Duration dt, const TdmaModel& tdma) {
-  assert(tdma.cycle.is_positive());
-  assert(tdma.slot.is_positive() && tdma.slot <= tdma.cycle);
+  RTHV_PRECONDITION(tdma.cycle.is_positive(), "analysis/tdma-cycle-positive");
+  RTHV_PRECONDITION(tdma.slot.is_positive() && tdma.slot <= tdma.cycle,
+                    "analysis/tdma-slot-in-cycle");
   if (!dt.is_positive()) return sim::Duration::zero();
-  const std::int64_t cycles = sim::Duration::ceil_div(dt, tdma.cycle);
-  return (tdma.cycle - tdma.slot + tdma.entry_overhead) * cycles;
+  const std::int64_t cycles = core::ceil_div(dt, tdma.cycle, "analysis/tdma-cycles");
+  const sim::Duration blocked_per_cycle = core::checked_add(
+      core::checked_sub(tdma.cycle, tdma.slot, "analysis/tdma-blocked"),
+      tdma.entry_overhead, "analysis/tdma-blocked");
+  return core::checked_mul(blocked_per_cycle, cycles, "analysis/tdma-interference");
 }
 
 sim::Duration interposed_interference(sim::Duration dt, sim::Duration d_min,
                                       sim::Duration effective_bottom) {
-  assert(d_min.is_positive());
+  RTHV_PRECONDITION(d_min.is_positive(), "analysis/interposed-dmin-positive");
   if (!dt.is_positive()) return sim::Duration::zero();
-  const std::int64_t n = sim::Duration::ceil_div(dt, d_min);
-  return effective_bottom * n;
+  // I(dt) = ceil(dt / d_min) * C'_BH (Eq. 7).
+  const std::int64_t n = core::ceil_div(dt, d_min, "analysis/interposed-count");
+  return core::checked_mul(effective_bottom, n, "analysis/interposed-interference");
 }
 
 sim::Duration interposed_interference(sim::Duration dt,
@@ -40,7 +52,8 @@ sim::Duration interposed_interference(sim::Duration dt,
     const MinDistanceFunction& f_;
   };
   const ArrivalCurve eta(std::make_shared<Ref>(monitor_delta));
-  return effective_bottom * static_cast<std::int64_t>(eta(dt));
+  return core::checked_mul(effective_bottom, eta(dt),
+                           "analysis/interposed-interference");
 }
 
 namespace {

@@ -3,37 +3,43 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/checked.hpp"
+
 namespace rthv::analysis {
 
 SporadicModel::SporadicModel(sim::Duration d_min) : d_(d_min) {
-  assert(d_.is_positive() && "sporadic model needs a positive minimum distance");
+  RTHV_PRECONDITION(d_.is_positive(),
+                    "analysis/sporadic-dmin-positive");
 }
 
 sim::Duration SporadicModel::at(std::uint64_t q) const {
-  return d_ * static_cast<std::int64_t>(q - 1);
+  return core::checked_mul(d_, q - 1, "analysis/sporadic-delta");
 }
 
 PeriodicJitterModel::PeriodicJitterModel(sim::Duration period, sim::Duration jitter,
                                          sim::Duration d_min)
     : period_(period), jitter_(jitter), d_(d_min) {
-  assert(period_.is_positive());
-  assert(!jitter_.is_negative());
-  assert(!d_.is_negative());
+  RTHV_PRECONDITION(period_.is_positive(), "analysis/periodic-period-positive");
+  RTHV_PRECONDITION(!jitter_.is_negative(), "analysis/periodic-jitter-nonnegative");
+  RTHV_PRECONDITION(!d_.is_negative(), "analysis/periodic-dmin-nonnegative");
 }
 
 sim::Duration PeriodicJitterModel::at(std::uint64_t q) const {
-  const auto n = static_cast<std::int64_t>(q - 1);
-  const sim::Duration strict = period_ * n - jitter_;
-  const sim::Duration floor = d_ * n;
+  const auto n = core::checked_cast<std::int64_t>(q - 1, "analysis/periodic-count");
+  const sim::Duration strict =
+      core::checked_sub(core::checked_mul(period_, n, "analysis/periodic-delta"),
+                        jitter_, "analysis/periodic-delta");
+  const sim::Duration floor = core::checked_mul(d_, n, "analysis/periodic-floor");
   return std::max({strict, floor, sim::Duration::zero()});
 }
 
 VectorModel::VectorModel(std::vector<sim::Duration> deltas) : deltas_(std::move(deltas)) {
-  assert(!deltas_.empty());
-  assert(deltas_.front().is_positive() && "d_min must be positive for extension");
-#ifndef NDEBUG
-  for (std::size_t i = 1; i < deltas_.size(); ++i) assert(deltas_[i] >= deltas_[i - 1]);
-#endif
+  RTHV_PRECONDITION(!deltas_.empty(), "analysis/vector-nonempty");
+  RTHV_PRECONDITION(deltas_.front().is_positive(), "analysis/vector-dmin-positive");
+  for (std::size_t i = 1; i < deltas_.size(); ++i) {
+    // delta^- functions are non-decreasing in the span.
+    RTHV_PRECONDITION(deltas_[i] >= deltas_[i - 1], "analysis/vector-monotone");
+  }
 }
 
 sim::Duration VectorModel::at(std::uint64_t q) const {
@@ -45,18 +51,19 @@ sim::Duration VectorModel::at(std::uint64_t q) const {
   const std::uint64_t gaps = q - 1;                       // spans are over gaps
   const std::uint64_t full_blocks = gaps / l;             // each block covers l gaps
   const std::uint64_t rest_gaps = gaps % l;
-  sim::Duration total = deltas_.back() * static_cast<std::int64_t>(full_blocks);
-  if (rest_gaps > 0) total += deltas_[rest_gaps - 1];
+  sim::Duration total =
+      core::checked_mul(deltas_.back(), full_blocks, "analysis/vector-extension");
+  if (rest_gaps > 0) {
+    total = core::checked_add(total, deltas_[rest_gaps - 1], "analysis/vector-extension");
+  }
   return total;
 }
 
 TraceModel::TraceModel(const std::vector<sim::TimePoint>& activations) {
-  assert(activations.size() >= 2 && "trace must contain at least two events");
-#ifndef NDEBUG
+  RTHV_PRECONDITION(activations.size() >= 2, "analysis/trace-two-events");
   for (std::size_t i = 1; i < activations.size(); ++i) {
-    assert(activations[i] >= activations[i - 1] && "trace must be sorted");
+    RTHV_PRECONDITION(activations[i] >= activations[i - 1], "analysis/trace-sorted");
   }
-#endif
   const std::size_t n = activations.size();
   spans_.resize(n - 1, sim::Duration::max());
   // spans_[k-2] (k events) = min over windows of k consecutive events.
@@ -77,28 +84,39 @@ sim::Duration TraceModel::at(std::uint64_t q) const {
   const sim::Duration whole = spans_.back();
   const auto whole_gaps = static_cast<std::int64_t>(spans_.size());
   const std::uint64_t gaps = q - 1;
-  const std::int64_t full = static_cast<std::int64_t>(gaps) / whole_gaps;
-  const std::int64_t rest = static_cast<std::int64_t>(gaps) % whole_gaps;
-  sim::Duration total = whole * full;
-  if (rest > 0) total += spans_[static_cast<std::size_t>(rest - 1)];
+  const std::int64_t full =
+      core::checked_cast<std::int64_t>(gaps, "analysis/trace-extension") / whole_gaps;
+  const std::int64_t rest =
+      core::checked_cast<std::int64_t>(gaps, "analysis/trace-extension") % whole_gaps;
+  sim::Duration total = core::checked_mul(whole, full, "analysis/trace-extension");
+  if (rest > 0) {
+    total = core::checked_add(total, spans_[static_cast<std::size_t>(rest - 1)],
+                              "analysis/trace-extension");
+  }
   return total;
 }
 
 BurstModel::BurstModel(sim::Duration outer_period, std::uint32_t burst_size,
                        sim::Duration inner_distance)
     : period_(outer_period), size_(burst_size), inner_(inner_distance) {
-  assert(period_.is_positive());
-  assert(size_ >= 1);
-  assert(inner_.is_positive() || size_ == 1);
+  RTHV_PRECONDITION(period_.is_positive(), "analysis/burst-period-positive");
+  RTHV_PRECONDITION(size_ >= 1, "analysis/burst-size-positive");
+  RTHV_PRECONDITION(inner_.is_positive() || size_ == 1,
+                    "analysis/burst-inner-positive");
   // The burst must fit into its period, or events would reorder.
-  assert(inner_ * static_cast<std::int64_t>(size_ - 1) < period_);
+  RTHV_PRECONDITION(
+      core::checked_mul(inner_, std::int64_t{size_} - 1, "analysis/burst-span") <
+          period_,
+      "analysis/burst-fits-period");
 }
 
 sim::Duration BurstModel::at(std::uint64_t q) const {
   const std::uint64_t gaps = q - 1;
-  const auto full = static_cast<std::int64_t>(gaps / size_);
-  const auto rest = static_cast<std::int64_t>(gaps % size_);
-  return period_ * full + inner_ * rest;
+  const std::uint64_t full = gaps / size_;
+  const std::uint64_t rest = gaps % size_;
+  return core::checked_add(core::checked_mul(period_, full, "analysis/burst-delta"),
+                           core::checked_mul(inner_, rest, "analysis/burst-delta"),
+                           "analysis/burst-delta");
 }
 
 std::shared_ptr<MinDistanceFunction> make_sporadic(sim::Duration d_min) {
@@ -120,14 +138,16 @@ std::shared_ptr<MinDistanceFunction> make_bursty(sim::Duration outer_period,
 OutputModel::OutputModel(std::shared_ptr<const MinDistanceFunction> input,
                          sim::Duration response_jitter, sim::Duration d_floor)
     : input_(std::move(input)), jitter_(response_jitter), floor_(d_floor) {
-  assert(input_ != nullptr);
-  assert(!jitter_.is_negative());
-  assert(floor_.is_positive() && "output model needs a positive service spacing");
+  RTHV_PRECONDITION(input_ != nullptr, "analysis/output-input-set");
+  RTHV_PRECONDITION(!jitter_.is_negative(), "analysis/output-jitter-nonnegative");
+  RTHV_PRECONDITION(floor_.is_positive(), "analysis/output-floor-positive");
 }
 
 sim::Duration OutputModel::at(std::uint64_t q) const {
-  const sim::Duration shrunk = (*input_)(q) - jitter_;
-  const sim::Duration floored = floor_ * static_cast<std::int64_t>(q - 1);
+  const sim::Duration shrunk =
+      core::checked_sub((*input_)(q), jitter_, "analysis/output-delta");
+  const sim::Duration floored =
+      core::checked_mul(floor_, q - 1, "analysis/output-floor");
   return std::max(shrunk, floored);
 }
 
@@ -140,7 +160,7 @@ std::shared_ptr<MinDistanceFunction> make_output(
 double long_run_rate_hz(const MinDistanceFunction& delta) {
   constexpr std::uint64_t kLargeQ = 1'000'000;
   const sim::Duration span = delta(kLargeQ);
-  assert(span.is_positive() && "event model must have unbounded delta^-");
+  RTHV_PRECONDITION(span.is_positive(), "analysis/rate-unbounded-delta");
   return static_cast<double>(kLargeQ - 1) / span.as_s();
 }
 

@@ -3,32 +3,37 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/checked.hpp"
+
 namespace rthv::analysis {
 
 using sim::Duration;
 
 SlotTableModel::SlotTableModel(std::vector<Slot> slots, Duration entry_overhead)
     : slots_(std::move(slots)), entry_overhead_(entry_overhead) {
-  assert(!slots_.empty());
-  assert(!entry_overhead_.is_negative());
-  [[maybe_unused]] bool has_service = false;
-  [[maybe_unused]] bool has_foreign = false;
+  RTHV_PRECONDITION(!slots_.empty(), "analysis/slot-table-nonempty");
+  RTHV_PRECONDITION(!entry_overhead_.is_negative(),
+                    "analysis/slot-table-overhead-nonnegative");
+  bool has_service = false;
+  bool has_foreign = false;
   cycle_ = Duration::zero();
   service_ = Duration::zero();
   for (const auto& s : slots_) {
-    assert(s.length.is_positive());
-    cycle_ += s.length;
+    RTHV_PRECONDITION(s.length.is_positive(), "analysis/slot-length-positive");
+    cycle_ = core::checked_add(cycle_, s.length, "analysis/slot-table-cycle");
     if (s.service) {
-      assert(s.length > entry_overhead_ &&
-             "a service slot shorter than its entry overhead provides no service");
-      service_ += s.length;
+      // A service slot shorter than its entry overhead provides no service.
+      RTHV_PRECONDITION(s.length > entry_overhead_,
+                        "analysis/slot-covers-entry-overhead");
+      service_ = core::checked_add(service_, s.length, "analysis/slot-table-service");
       ++entries_;
       has_service = true;
     } else {
       has_foreign = true;
     }
   }
-  assert(has_service && has_foreign && "need at least one service and one foreign slot");
+  RTHV_PRECONDITION(has_service && has_foreign,
+                    "analysis/slot-table-service-and-foreign");
 }
 
 Duration SlotTableModel::blocked_from(std::size_t start_slot, Duration dt) const {
@@ -39,13 +44,13 @@ Duration SlotTableModel::blocked_from(std::size_t start_slot, Duration dt) const
     const Slot& s = slots_[idx];
     if (!s.service) {
       const Duration take = std::min(left, s.length);
-      blocked += take;
+      blocked = core::checked_add(blocked, take, "analysis/slot-blocked");
       left -= take;
     } else {
       // Entering service first pays the switch-in overhead (blocked time),
       // then the remainder of the slot provides service.
       const Duration oh = std::min(left, entry_overhead_);
-      blocked += oh;
+      blocked = core::checked_add(blocked, oh, "analysis/slot-blocked");
       left -= oh;
       if (left.is_positive()) {
         left -= std::min(left, s.length - entry_overhead_);
@@ -60,8 +65,11 @@ Duration SlotTableModel::interference(Duration dt) const {
   if (!dt.is_positive()) return Duration::zero();
   const std::int64_t full_cycles = dt / cycle_;
   const Duration rem = dt % cycle_;
+  const Duration entry_total = core::checked_mul(
+      entry_overhead_, std::int64_t{entries_}, "analysis/slot-entry-total");
   const Duration blocked_per_cycle =
-      cycle_ - service_ + entry_overhead_ * static_cast<std::int64_t>(entries_);
+      core::checked_add(core::checked_sub(cycle_, service_, "analysis/slot-foreign"),
+                        entry_total, "analysis/slot-blocked-per-cycle");
 
   Duration worst_rem = Duration::zero();
   if (rem.is_positive()) {
@@ -71,20 +79,22 @@ Duration SlotTableModel::interference(Duration dt) const {
       worst_rem = std::max(worst_rem, blocked_from(i, rem));
     }
   }
-  return blocked_per_cycle * full_cycles + worst_rem;
+  return core::checked_add(
+      core::checked_mul(blocked_per_cycle, full_cycles, "analysis/slot-interference"),
+      worst_rem, "analysis/slot-interference");
 }
 
 SlotTableModel SlotTableModel::single_slot(Duration cycle, Duration slot,
                                            Duration entry_overhead) {
-  assert(slot < cycle);
+  RTHV_PRECONDITION(slot < cycle, "analysis/slot-within-cycle");
   return SlotTableModel({Slot{true, slot}, Slot{false, cycle - slot}}, entry_overhead);
 }
 
 SlotTableModel SlotTableModel::evenly_split(Duration cycle, Duration slot,
                                             std::uint32_t parts,
                                             Duration entry_overhead) {
-  assert(parts >= 1);
-  assert(slot < cycle);
+  RTHV_PRECONDITION(parts >= 1, "analysis/slot-split-parts");
+  RTHV_PRECONDITION(slot < cycle, "analysis/slot-within-cycle");
   const Duration service_part = Duration::ns(slot.count_ns() / parts);
   const Duration foreign_part = Duration::ns((cycle - slot).count_ns() / parts);
   std::vector<Slot> slots;

@@ -2,13 +2,15 @@
 
 #include <cassert>
 
+#include "core/checked.hpp"
+
 namespace rthv::analysis {
 
 std::optional<sim::Duration> task_wcrt(const PartitionTaskAnalysis& model,
                                        std::size_t task_index) {
-  assert(task_index < model.tasks.size());
+  RTHV_PRECONDITION(task_index < model.tasks.size(), "analysis/task-index-valid");
   const GuestTaskModel& task = model.tasks[task_index];
-  assert(task.activation != nullptr);
+  RTHV_PRECONDITION(task.activation != nullptr, "analysis/task-activation-set");
 
   BusyWindowProblem problem;
   problem.per_event_cost = task.wcet;

@@ -1,7 +1,8 @@
 #include "hw/cpu_model.hpp"
 
-#include <cassert>
 #include <numeric>
+
+#include "core/checked.hpp"
 
 namespace rthv::hw {
 
@@ -22,35 +23,47 @@ std::string_view to_string(WorkCategory c) {
 
 CpuModel::CpuModel(std::uint64_t freq_hz, std::uint32_t cpi_milli)
     : freq_hz_(freq_hz), cpi_milli_(cpi_milli) {
-  assert(freq_hz_ > 0);
-  assert(cpi_milli_ > 0);
+  RTHV_PRECONDITION(freq_hz_ > 0, "hw/cpu-frequency-positive");
+  RTHV_PRECONDITION(cpi_milli_ > 0, "hw/cpu-cpi-positive");
   cycle_ps_ = 1'000'000'000'000ULL / freq_hz_;
-  assert(cycle_ps_ > 0 && "frequency above 1 THz not supported");
+  RTHV_PRECONDITION(cycle_ps_ > 0, "hw/cpu-frequency-below-1thz");
 }
 
 sim::Duration CpuModel::cycles_to_duration(std::uint64_t cycles) const {
   // Round picoseconds to nanoseconds (cycle_ps_ is exact for the paper's
-  // 200 MHz: 5000 ps -> 5 ns, so no rounding error occurs there).
-  const std::uint64_t ps = cycles * cycle_ps_;
-  return sim::Duration::ns(static_cast<std::int64_t>((ps + 500) / 1000));
+  // 200 MHz: 5000 ps -> 5 ns, so no rounding error occurs there). The
+  // picosecond product wraps for cycle counts past ~42 days at 200 MHz, so
+  // the scaling is checked rather than cast.
+  const std::uint64_t ps = core::checked_mul(cycles, cycle_ps_, "hw/cycles-to-ps");
+  const std::uint64_t ns =
+      core::checked_add(ps, std::uint64_t{500}, "hw/ps-rounding") / 1000;
+  return sim::Duration::ns(core::checked_cast<std::int64_t>(ns, "hw/ps-to-ns"));
 }
 
 sim::Duration CpuModel::instructions_to_duration(std::uint64_t instructions) const {
-  return cycles_to_duration(instructions * cpi_milli_ / 1000);
+  return cycles_to_duration(
+      core::checked_mul(instructions, std::uint64_t{cpi_milli_},
+                        "hw/instructions-to-cycles") /
+      1000);
 }
 
 std::uint64_t CpuModel::duration_to_cycles(sim::Duration d) const {
-  assert(!d.is_negative());
-  const std::uint64_t ps = static_cast<std::uint64_t>(d.count_ns()) * 1000ULL;
+  RTHV_PRECONDITION(!d.is_negative(), "hw/cycle-duration-nonnegative");
+  const std::uint64_t ps =
+      core::checked_mul(core::checked_cast<std::uint64_t>(d.count_ns(), "hw/ns-to-ps"),
+                        std::uint64_t{1000}, "hw/ns-to-ps");
   return ps / cycle_ps_;
 }
 
 void CpuModel::retire_cycles(WorkCategory c, std::uint64_t cycles) {
-  cycles_[static_cast<std::size_t>(c)] += cycles;
+  auto& slot = cycles_[static_cast<std::size_t>(c)];
+  slot = core::checked_add(slot, cycles, "hw/cycle-accounting");
 }
 
 void CpuModel::retire_instructions(WorkCategory c, std::uint64_t instructions) {
-  retire_cycles(c, instructions * cpi_milli_ / 1000);
+  retire_cycles(c, core::checked_mul(instructions, std::uint64_t{cpi_milli_},
+                                     "hw/instructions-to-cycles") /
+                       1000);
 }
 
 void CpuModel::retire_duration(WorkCategory c, sim::Duration d) {

@@ -1,7 +1,8 @@
 #include "mon/learning_monitor.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/checked.hpp"
 
 namespace rthv::mon {
 
@@ -12,13 +13,15 @@ LearningDeltaMonitor::LearningDeltaMonitor(std::size_t depth,
       bound_(std::move(bound)),
       learned_(depth, sim::Duration::max()),
       tracebuffer_(depth) {
-  assert(depth > 0);
-  assert(bound_.empty() || bound_.size() == depth);
+  RTHV_PRECONDITION(depth > 0, "mon/learning-depth-positive");
+  RTHV_PRECONDITION(bound_.empty() || bound_.size() == depth,
+                    "mon/learning-bound-depth");
   if (learning_remaining_ == 0) finish_learning();
 }
 
 const DeltaVector& LearningDeltaMonitor::enforced() const {
-  assert(phase_ == Phase::kRunning && "enforced vector exists only after learning");
+  // The enforced vector exists only after learning.
+  RTHV_PRECONDITION(phase_ == Phase::kRunning, "mon/learning-finished");
   return enforced_;
 }
 

@@ -1,12 +1,13 @@
 #include "mon/monitor.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/checked.hpp"
 
 namespace rthv::mon {
 
 DeltaMinMonitor::DeltaMinMonitor(sim::Duration d_min) : d_min_(d_min) {
-  assert(!d_min.is_negative());
+  RTHV_PRECONDITION(!d_min.is_negative(), "mon/dmin-nonnegative");
 }
 
 bool DeltaMinMonitor::record_and_check(sim::TimePoint now) {
@@ -20,13 +21,13 @@ bool DeltaMinMonitor::record_and_check(sim::TimePoint now) {
 
 DeltaVectorMonitor::DeltaVectorMonitor(DeltaVector deltas)
     : deltas_(std::move(deltas)), tracebuffer_(deltas_.size()) {
-  assert(!deltas_.empty());
-#ifndef NDEBUG
-  // delta^- functions are non-decreasing in the span.
+  RTHV_PRECONDITION(!deltas_.empty(), "mon/delta-vector-nonempty");
+  // delta^- functions are non-decreasing in the span. Enforced in every
+  // build mode: a decreasing vector silently weakens the interference bound
+  // the admitted pattern is supposed to guarantee.
   for (std::size_t i = 1; i < deltas_.size(); ++i) {
-    assert(deltas_[i] >= deltas_[i - 1]);
+    RTHV_PRECONDITION(deltas_[i] >= deltas_[i - 1], "mon/delta-vector-monotone");
   }
-#endif
 }
 
 bool DeltaVectorMonitor::peek(sim::TimePoint now) const {
@@ -55,12 +56,14 @@ bool DeltaVectorMonitor::record_and_check(sim::TimePoint now) {
 }
 
 DeltaVector scale_for_load_fraction(const DeltaVector& deltas, double fraction) {
-  assert(fraction > 0.0 && fraction <= 1.0);
+  RTHV_PRECONDITION(fraction > 0.0 && fraction <= 1.0, "mon/load-fraction-range");
   DeltaVector out;
   out.reserve(deltas.size());
   for (const auto d : deltas) {
-    out.push_back(sim::Duration::ns(static_cast<std::int64_t>(
-        std::llround(static_cast<double>(d.count_ns()) / fraction))));
+    // Scaled distances must stay representable: a wrapped llround would
+    // produce a *smaller* (weaker) enforced distance.
+    out.push_back(sim::Duration::ns(core::checked_round_ns(
+        static_cast<double>(d.count_ns()) / fraction, "mon/delta-scale")));
   }
   return out;
 }

@@ -225,6 +225,7 @@ class EventQueue {
   void grow_heap(std::size_t min_cap) {
     std::size_t cap = heap_cap_ == 0 ? 64 : heap_cap_ * 2;
     if (cap < min_cap) cap = min_cap;
+    // rthv-lint: allow(no-hot-alloc) -- amortized doubling, cold path
     std::unique_ptr<HeapEntry[]> bigger(new HeapEntry[cap]);
     if (size_ > 0) std::memcpy(bigger.get(), heap_.get(), size_ * sizeof(HeapEntry));
     heap_ = std::move(bigger);

@@ -32,6 +32,7 @@ class SmallCallback {
     if constexpr (stored_inline<Fn>()) {
       ::new (storage()) Fn(std::forward<F>(f));
     } else {
+      // rthv-lint: allow(no-hot-alloc) -- oversized-callable fallback only
       ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
     }
     ops_ = &OpsImpl<Fn>::ops;
@@ -48,6 +49,7 @@ class SmallCallback {
     if constexpr (stored_inline<Fn>()) {
       ::new (storage()) Fn(std::forward<F>(f));
     } else {
+      // rthv-lint: allow(no-hot-alloc) -- oversized-callable fallback only
       ::new (storage()) Fn*(new Fn(std::forward<F>(f)));
     }
     ops_ = &OpsImpl<Fn>::ops;

@@ -1,20 +1,25 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
+
+#include "core/checked.hpp"
 
 namespace rthv::stats {
 
 Histogram::Histogram(sim::Duration lo, sim::Duration hi, sim::Duration bin_width)
     : lo_(lo), width_(bin_width) {
-  assert(bin_width.is_positive());
-  assert(hi > lo);
-  const std::int64_t span = (hi - lo).count_ns();
-  const std::int64_t w = bin_width.count_ns();
-  bins_.assign(static_cast<std::size_t>((span + w - 1) / w), 0);
+  RTHV_PRECONDITION(bin_width.is_positive(), "stats/histogram-width-positive");
+  RTHV_PRECONDITION(hi > lo, "stats/histogram-range-ordered");
+  // ceil((hi - lo) / width) buckets. The textbook (span + w - 1) / w form
+  // wraps for spans near INT64_MAX; core::ceil_div cannot.
+  const std::int64_t buckets = core::ceil_div(
+      core::checked_sub(hi, lo, "stats/histogram-span"), width_,
+      "stats/histogram-buckets");
+  bins_.assign(core::checked_cast<std::size_t>(buckets, "stats/histogram-buckets"),
+               0);
 }
 
 void Histogram::add(sim::Duration sample) {
@@ -42,12 +47,14 @@ void Histogram::merge(const Histogram& other) {
 }
 
 sim::Duration Histogram::bin_lower(std::size_t i) const {
-  assert(i < bins_.size());
-  return lo_ + width_ * static_cast<std::int64_t>(i);
+  RTHV_PRECONDITION(i < bins_.size(), "stats/histogram-bin-index");
+  const auto idx = core::checked_cast<std::int64_t>(i, "stats/histogram-bin-index");
+  return core::checked_add(lo_, core::checked_mul(width_, idx, "stats/histogram-bin"),
+                           "stats/histogram-bin");
 }
 
 sim::Duration Histogram::bin_upper(std::size_t i) const {
-  return bin_lower(i) + width_;
+  return core::checked_add(bin_lower(i), width_, "stats/histogram-bin");
 }
 
 void Histogram::write_csv(std::ostream& os) const {

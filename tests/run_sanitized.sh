@@ -1,22 +1,30 @@
 #!/usr/bin/env bash
 # Builds and runs the test suite under sanitizers:
 #   1. ASan + UBSan (RTHV_SANITIZE=ON) over the full suite
-#   2. TSan (RTHV_TSAN=ON) over the threaded exp/ tests and the
-#      observability suite (ctest -L obs) -- optional, pass --tsan
+#   2. TSan (RTHV_TSAN=ON) over the FULL suite -- optional, pass --tsan
+# Pass --lint to also run the static-analysis pass (tools/rthv_lint +
+# clang-tidy when available) before any sanitizer build.
 #
-# usage: tests/run_sanitized.sh [--tsan] [jobs]
+# usage: tests/run_sanitized.sh [--tsan] [--lint] [jobs]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=0
+run_lint=0
 jobs="$(nproc 2>/dev/null || echo 1)"
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
+    --lint) run_lint=1 ;;
     *) jobs="$arg" ;;
   esac
 done
+
+if [[ "$run_lint" == 1 ]]; then
+  echo "== static analysis =="
+  tests/run_static_analysis.sh
+fi
 
 echo "== ASan + UBSan build =="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_SANITIZE=ON
@@ -24,11 +32,10 @@ cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== TSan build (threaded exp/ + obs tests) =="
+  echo "== TSan build (full suite) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_TSAN=ON
-  cmake --build build-tsan -j "$jobs" --target test_exp test_obs
-  ctest --test-dir build-tsan --output-on-failure -R 'ThreadPool|SweepRunner'
-  ctest --test-dir build-tsan --output-on-failure -L obs
+  cmake --build build-tsan -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 fi
 
 echo "sanitized runs passed"

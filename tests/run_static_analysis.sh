@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Project static-analysis pass, shared by CI (ci/run_ci.sh) and the
+# sanitizer driver (tests/run_sanitized.sh --lint):
+#   1. rthv_lint self-test (the lint rules themselves must be healthy)
+#   2. rthv_lint over src/ and bench/
+#   3. clang-tidy over the given files (or all of src/) -- skipped with a
+#      notice when clang-tidy is not installed, so the script stays usable
+#      in minimal containers.
+#
+# usage: tests/run_static_analysis.sh [file.cpp ...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "-- rthv_lint --self-test"
+python3 tools/rthv_lint/rthv_lint.py --self-test
+
+echo "-- rthv_lint src bench"
+python3 tools/rthv_lint/rthv_lint.py src bench
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  # clang-tidy needs a compilation database; configure one on demand.
+  if [[ ! -f build/compile_commands.json ]]; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  files=("$@")
+  if [[ ${#files[@]} -eq 0 ]]; then
+    mapfile -t files < <(find src -name '*.cpp' | sort)
+  fi
+  echo "-- clang-tidy (${#files[@]} files)"
+  clang-tidy -p build --quiet "${files[@]}"
+else
+  echo "-- clang-tidy not installed; skipping (rules in .clang-tidy)"
+fi
+
+echo "static analysis passed"

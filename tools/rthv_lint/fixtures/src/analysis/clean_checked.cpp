@@ -1,0 +1,28 @@
+// Fixture (negative case): properly routed tick arithmetic plus the shapes
+// that look like arithmetic but are not -- dereferences, increments,
+// non-tick integer math. None of these may fire.
+#include <cstdint>
+#include <optional>
+
+#include "core/checked.hpp"
+#include "sim/time.hpp"
+
+using rthv::sim::Duration;
+
+Duration interference(Duration dt, Duration d_min, Duration cost) {
+  const std::int64_t n = rthv::core::ceil_div(dt, d_min);
+  Duration total = rthv::core::checked_mul(cost, n);
+  total = rthv::core::checked_add(total, d_min);
+  return total;
+}
+
+Duration deref_is_not_multiplication(const std::optional<Duration>& w, Duration d) {
+  const Duration r = *w - d;  // unary deref and subtraction: allowed
+  return r;
+}
+
+std::uint64_t plain_integer_math(std::uint64_t q) {
+  std::uint64_t hi = 2;
+  hi *= 2;         // not a tick quantity: allowed
+  return hi + q;   // not a tick quantity: allowed
+}

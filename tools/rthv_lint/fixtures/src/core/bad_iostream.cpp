@@ -1,0 +1,5 @@
+// Fixture: <iostream> in library code (drags in static iostream
+// initialization and tempts libraries into printing).
+#include <iostream>  // rthv-lint-expect: banned-include
+
+int fixture_library_function() { return 1; }

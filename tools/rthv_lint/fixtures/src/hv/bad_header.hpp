@@ -1,0 +1,8 @@
+// rthv-lint-expect: header-hygiene
+// Fixture: a header with no include guard whose first code line is a
+// namespace-polluting using-directive.
+#include <vector>
+
+using namespace std;  // rthv-lint-expect: header-hygiene
+
+inline vector<int> fixture_values() { return {1, 2, 3}; }

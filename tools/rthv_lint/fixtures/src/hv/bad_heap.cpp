@@ -1,0 +1,14 @@
+// Fixture: raw heap allocation on hypervisor hot paths; placement new into
+// preallocated storage is the allowed pattern.
+#include <cstdlib>
+#include <new>
+
+int* fixture_allocations() {
+  int* leak = new int[4];                          // rthv-lint-expect: no-hot-alloc
+  void* block = std::malloc(16);                   // rthv-lint-expect: no-hot-alloc
+  std::free(block);
+  alignas(int) static unsigned char buf[sizeof(int)];
+  int* inline_ok = ::new (buf) int(7);  // placement new: allowed
+  (void)inline_ok;
+  return leak;
+}

@@ -1,0 +1,10 @@
+// Fixture: one registered TracePoint (fine) and one id that is not in the
+// trace_event.hpp enum (the trace format would no longer round-trip).
+#include "obs/trace_event.hpp"
+
+void fixture_emit(rthv::obs::TracePoint);
+
+void fixture_trace_sites() {
+  fixture_emit(rthv::obs::TracePoint::kStart);  // registered: allowed
+  fixture_emit(rthv::obs::TracePoint::kNotARegisteredPoint);  // rthv-lint-expect: trace-registered-id
+}

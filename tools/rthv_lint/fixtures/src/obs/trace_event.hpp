@@ -1,0 +1,17 @@
+// Fixture mirror of the real trace_event.hpp: the self-test resolves
+// registered TracePoint enumerators against this file, so the fixture tree
+// is self-contained.
+#pragma once
+
+#include <cstdint>
+
+namespace rthv::obs {
+
+enum class TracePoint : std::uint8_t {
+  kStart,
+  kSlotSwitch,
+  kBottomEnd,
+  kCount_,
+};
+
+}  // namespace rthv::obs

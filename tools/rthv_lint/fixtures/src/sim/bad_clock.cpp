@@ -1,0 +1,11 @@
+// Fixture: nondeterministic sources inside the simulator layer. Each one
+// would break the bit-identical --jobs sweep contract.
+#include <cstdlib>
+
+long long fixture_now() {
+  auto t = std::chrono::steady_clock::now();       // rthv-lint-expect: no-wallclock
+  (void)t;
+  unsigned seed = std::random_device{}();          // rthv-lint-expect: no-wallclock
+  (void)seed;
+  return std::rand();                              // rthv-lint-expect: no-wallclock
+}

@@ -1,0 +1,4 @@
+// Fixture: <chrono> inside the deterministic sim layer.
+#include <chrono>  // rthv-lint-expect: banned-include
+
+int fixture_uses_nothing() { return 0; }

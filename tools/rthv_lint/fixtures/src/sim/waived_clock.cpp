@@ -1,0 +1,10 @@
+// Fixture (negative case): a violation carrying an explicit waiver must not
+// be reported -- this exercises the allow() mechanism itself.
+#include <cstdlib>
+
+long fixture_waived() {
+  // rthv-lint: allow(no-wallclock) -- fixture: waiver on the preceding line
+  long a = std::rand();
+  long b = std::rand();  // rthv-lint: allow(no-wallclock) -- same-line waiver
+  return a + b;
+}

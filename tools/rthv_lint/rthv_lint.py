@@ -1,0 +1,481 @@
+#!/usr/bin/env python3
+"""rthv-lint: repo-specific static analysis for the rthv codebase.
+
+Walks C++ sources under the given directories (default: src/ and bench/)
+and enforces the project's domain invariants -- the properties the DAC'14
+reproduction's correctness story rests on but that a compiler cannot check:
+
+  no-wallclock         No wall-clock or nondeterministic sources outside
+                       src/exp/ timing code. The simulator must be a pure
+                       function of its seed; a stray steady_clock::now()
+                       breaks bit-identical --jobs sweeps.
+  no-hot-alloc         No raw new/malloc in src/sim/ and src/hv/ (the
+                       simulator hot paths). Steady-state event handling
+                       must not allocate; growth paths need a waiver.
+  trace-registered-id  Every obs::TracePoint::kX referenced anywhere must
+                       be an enumerator registered in
+                       src/obs/trace_event.hpp (ids are part of the trace
+                       format; an unregistered id breaks exporters).
+  checked-arith        No raw '+' / '*' / '+=' / '*=' / Duration::ceil_div
+                       on Duration/TimePoint quantities inside
+                       src/analysis/. All tick arithmetic must go through
+                       core/checked.hpp so Eq. 3-16 detect overflow
+                       instead of wrapping.
+  banned-include       <chrono> is banned in src/sim/ and src/analysis/
+                       (wall-clock leakage); <iostream> is banned in
+                       library code (static-init order, stray output from
+                       libraries; use <iosfwd>/<ostream> interfaces).
+  header-hygiene       Headers must start with #pragma once (or a classic
+                       include guard) and must not contain
+                       'using namespace' at any scope.
+
+Waivers: a comment `rthv-lint: allow(rule-id)` (comma-separated list, or
+`allow(*)`) on the offending line or the line directly above suppresses the
+named rules for that line. Waivers are deliberate, reviewable markers --
+prefer fixing the code.
+
+Self-test: `rthv_lint.py --self-test` scans tools/rthv_lint/fixtures/,
+where each intentional violation is annotated with a
+`rthv-lint-expect: rule-id` comment, and verifies the reported
+(file, line, rule) set matches the annotations exactly.
+
+Exit code 0: no violations. 1: violations found (or self-test mismatch).
+2: usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".inl")
+HEADER_EXTENSIONS = (".hpp", ".h", ".hh")
+
+WAIVER_RE = re.compile(r"rthv-lint:\s*allow\(([^)]*)\)")
+EXPECT_RE = re.compile(r"rthv-lint-expect:\s*([A-Za-z0-9_*,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file: raw lines plus comment/string-stripped lines."""
+
+    relpath: str
+    raw_lines: list[str]
+    code_lines: list[str]  # comments and string literals blanked out
+    waivers: dict[int, set[str]]  # line -> waived rule ids ('*' = all)
+
+    def is_header(self) -> bool:
+        return self.relpath.endswith(HEADER_EXTENSIONS)
+
+    def waived(self, line: int, rule: str) -> bool:
+        for probe in (line, line - 1):
+            rules = self.waivers.get(probe)
+            if rules and ("*" in rules or rule in rules):
+                return True
+        return False
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments, string and char literals, preserving line structure.
+
+    Handles //, /* */, "...", '...' with escapes, and R"delim(...)delim" raw
+    strings. Replaced characters become spaces so column positions survive.
+    """
+    out: list[str] = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string? Look back for R / u8R / LR / uR / UR prefix.
+                m = re.search(r'(?:u8|[uUL])?R$', text[max(0, i - 3):i])
+                if m:
+                    close = text.find("(", i)
+                    if close != -1 and close - i <= 17:
+                        delim = text[i + 1:close]
+                        raw_terminator = ")" + delim + '"'
+                        state = RAW_STRING
+                        out.append('"')
+                        i += 1
+                        continue
+                state = STRING
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                out.append('"')
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                out.append("'")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # RAW_STRING
+            if text.startswith(raw_terminator, i):
+                out.append(raw_terminator)
+                i += len(raw_terminator)
+                state = NORMAL
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def load_source(root: str, relpath: str) -> SourceFile:
+    with open(os.path.join(root, relpath), encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    raw_lines = text.splitlines()
+    code_lines = strip_comments_and_strings(text).splitlines()
+    # Pad in case the stripped text lost a trailing line.
+    while len(code_lines) < len(raw_lines):
+        code_lines.append("")
+    waivers: dict[int, set[str]] = {}
+    for lineno, line in enumerate(raw_lines, 1):
+        m = WAIVER_RE.search(line)
+        if m:
+            waivers[lineno] = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    return SourceFile(relpath.replace(os.sep, "/"), raw_lines, code_lines, waivers)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+Rule = Callable[[SourceFile, "LintContext"], Iterable[Violation]]
+RULES: list[tuple[str, str, Rule]] = []
+
+
+def rule(rule_id: str, description: str):
+    def wrap(fn: Rule):
+        RULES.append((rule_id, description, fn))
+        return fn
+
+    return wrap
+
+
+@dataclass
+class LintContext:
+    root: str
+    trace_points: set[str]  # registered TracePoint enumerators
+
+
+def _in(path: str, *prefixes: str) -> bool:
+    return any(path.startswith(p) for p in prefixes)
+
+
+WALLCLOCK_TOKENS = [
+    (re.compile(r"\bstd::chrono\b"), "std::chrono"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\s*::"),
+     "wall-clock clock type"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd::rand\b|(?<![\w:])rand\s*\(\s*\)"), "std::rand"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime"),
+    (re.compile(r"\bgetenv\s*\("), "getenv (environment-dependent behavior)"),
+]
+
+
+@rule("no-wallclock",
+      "no wall-clock / nondeterministic sources outside src/exp/")
+def check_wallclock(src: SourceFile, ctx: LintContext):
+    if not _in(src.relpath, "src/") or _in(src.relpath, "src/exp/"):
+        return
+    for lineno, line in enumerate(src.code_lines, 1):
+        for pattern, what in WALLCLOCK_TOKENS:
+            if pattern.search(line):
+                yield Violation(
+                    src.relpath, lineno, "no-wallclock",
+                    f"{what} is nondeterministic; simulated time comes from "
+                    "sim::Simulator (wall-clock timing belongs in src/exp/)")
+                break
+
+
+ALLOC_HEAP_NEW = re.compile(r"\bnew\b(?!\s*\()")  # `new (addr)` = placement, allowed
+ALLOC_C_FUNCS = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
+
+
+@rule("no-hot-alloc", "no raw new/malloc in src/sim/ and src/hv/ hot paths")
+def check_hot_alloc(src: SourceFile, ctx: LintContext):
+    if not _in(src.relpath, "src/sim/", "src/hv/"):
+        return
+    for lineno, line in enumerate(src.code_lines, 1):
+        if INCLUDE_RE.match(line):  # e.g. #include <new>
+            continue
+        if ALLOC_HEAP_NEW.search(line) or ALLOC_C_FUNCS.search(line):
+            yield Violation(
+                src.relpath, lineno, "no-hot-alloc",
+                "raw heap allocation on a simulator hot path; use inline/"
+                "pooled storage, or waive growth paths explicitly")
+
+
+TRACE_POINT_USE = re.compile(r"\bTracePoint::(k\w+)")
+TRACE_ENUM_FILE = "src/obs/trace_event.hpp"
+
+
+@rule("trace-registered-id",
+      "TracePoint ids must be registered in src/obs/trace_event.hpp")
+def check_trace_ids(src: SourceFile, ctx: LintContext):
+    if src.relpath.replace(os.sep, "/") == TRACE_ENUM_FILE:
+        return
+    for lineno, line in enumerate(src.code_lines, 1):
+        for m in TRACE_POINT_USE.finditer(line):
+            if m.group(1) not in ctx.trace_points:
+                yield Violation(
+                    src.relpath, lineno, "trace-registered-id",
+                    f"TracePoint::{m.group(1)} is not registered in "
+                    f"{TRACE_ENUM_FILE}; unregistered ids break the trace "
+                    "format and its exporters")
+
+
+# A binary + or * (or compound +=, *=) between word/paren operands. Unary
+# deref/pointers (`*w`, `(*f)(q)`) and increments (`i++`) do not match.
+BINARY_ADD_MUL = re.compile(r"[\w\)\]]\s*(?:\+(?![+=])|\*(?![=*/]))\s*[\w\(]")
+COMPOUND_ADD_MUL = re.compile(r"[\w\)\]]\s*[+*]=")
+TICK_TYPES = re.compile(r"\b(?:Duration|TimePoint)\b|\bcount_ns\s*\(")
+RAW_CEIL_DIV = re.compile(r"\bDuration::ceil_div\b")
+
+
+@rule("checked-arith",
+      "tick arithmetic in src/analysis/ must use core/checked.hpp")
+def check_checked_arith(src: SourceFile, ctx: LintContext):
+    if not _in(src.relpath, "src/analysis/"):
+        return
+    for lineno, line in enumerate(src.code_lines, 1):
+        if RAW_CEIL_DIV.search(line):
+            yield Violation(
+                src.relpath, lineno, "checked-arith",
+                "sim::Duration::ceil_div wraps near INT64_MAX; use "
+                "core::ceil_div from core/checked.hpp")
+            continue
+        if not TICK_TYPES.search(line):
+            continue
+        if BINARY_ADD_MUL.search(line) or COMPOUND_ADD_MUL.search(line):
+            yield Violation(
+                src.relpath, lineno, "checked-arith",
+                "raw '+'/'*' on a tick quantity in analysis code; route "
+                "through core::checked_add / core::checked_mul so Eq. 3-16 "
+                "detect overflow instead of wrapping")
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^>"]+)[>"]')
+BANNED_INCLUDES = [
+    # (header, scope-prefixes, scope-exemptions, reason)
+    ("chrono", ("src/sim/", "src/analysis/"), (),
+     "wall-clock types must not leak into deterministic sim/analysis code"),
+    ("iostream", ("src/",), ("src/exp/",),
+     "library code must not pull in iostream (static-init order, stray "
+     "output); take std::ostream& or use <iosfwd>"),
+]
+
+
+@rule("banned-include", "layer-banned includes (<chrono>, <iostream>)")
+def check_banned_includes(src: SourceFile, ctx: LintContext):
+    for lineno, line in enumerate(src.code_lines, 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        for header, scopes, exemptions, reason in BANNED_INCLUDES:
+            if m.group(1) != header:
+                continue
+            if not _in(src.relpath, *scopes) or _in(src.relpath, *exemptions):
+                continue
+            yield Violation(src.relpath, lineno, "banned-include",
+                            f"<{header}> is banned here: {reason}")
+
+
+USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+IFNDEF_GUARD = re.compile(r"^\s*#\s*ifndef\s+\w+")
+
+
+@rule("header-hygiene", "headers need #pragma once and no 'using namespace'")
+def check_header_hygiene(src: SourceFile, ctx: LintContext):
+    if not src.is_header():
+        return
+    # The guard must be the first code in the file (doc comments may precede).
+    first_code = next((l for l in src.code_lines if l.strip()), "")
+    if not (PRAGMA_ONCE.match(first_code) or IFNDEF_GUARD.match(first_code)):
+        yield Violation(
+            src.relpath, 1, "header-hygiene",
+            "header must open with #pragma once (or a classic include guard) "
+            "before any other code")
+    for lineno, line in enumerate(src.code_lines, 1):
+        if USING_NAMESPACE.search(line):
+            yield Violation(
+                src.relpath, lineno, "header-hygiene",
+                "'using namespace' in a header pollutes every includer")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def parse_trace_points(root: str) -> set[str]:
+    path = os.path.join(root, TRACE_ENUM_FILE)
+    if not os.path.exists(path):
+        return set()
+    with open(path, encoding="utf-8") as f:
+        text = strip_comments_and_strings(f.read())
+    m = re.search(r"enum\s+class\s+TracePoint\s*:[^{]*\{(.*?)\}", text, re.S)
+    if not m:
+        return set()
+    return set(re.findall(r"\b(k\w+)\b", m.group(1)))
+
+
+def iter_source_files(root: str, subdirs: list[str]) -> Iterable[str]:
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            raise FileNotFoundError(f"scan directory not found: {base}")
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def run_lint(root: str, subdirs: list[str]) -> list[Violation]:
+    ctx = LintContext(root=root, trace_points=parse_trace_points(root))
+    violations: list[Violation] = []
+    for relpath in iter_source_files(root, subdirs):
+        src = load_source(root, relpath)
+        for rule_id, _desc, fn in RULES:
+            for v in fn(src, ctx):
+                if not src.waived(v.line, v.rule):
+                    violations.append(v)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def run_self_test(root: str) -> int:
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"rthv-lint: fixtures directory missing: {fixtures}", file=sys.stderr)
+        return 2
+    expected: set[tuple[str, int, str]] = set()
+    for relpath in iter_source_files(fixtures, ["src"]):
+        with open(os.path.join(fixtures, relpath), encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                m = EXPECT_RE.search(line)
+                if m:
+                    for rule_id in m.group(1).split(","):
+                        expected.add(
+                            (relpath.replace(os.sep, "/"), lineno, rule_id.strip()))
+    found = {(v.path, v.line, v.rule) for v in run_lint(fixtures, ["src"])}
+    missing = expected - found
+    unexpected = found - expected
+    for path, line, rule_id in sorted(missing):
+        print(f"SELF-TEST MISSING   {path}:{line}: [{rule_id}] did not fire")
+    for path, line, rule_id in sorted(unexpected):
+        print(f"SELF-TEST UNEXPECTED {path}:{line}: [{rule_id}] fired")
+    if missing or unexpected:
+        print(f"rthv-lint self-test FAILED "
+              f"({len(missing)} missing, {len(unexpected)} unexpected)")
+        return 1
+    print(f"rthv-lint self-test passed: {len(expected)} expected findings, "
+          f"{len(found & expected)} matched, clean fixtures quiet")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rthv_lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("subdirs", nargs="*", default=["src", "bench"],
+                        help="directories under --root to scan "
+                             "(default: src bench)")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture self-test instead of a scan")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and descriptions")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, desc, _fn in RULES:
+            print(f"{rule_id:22s} {desc}")
+        return 0
+    if args.self_test:
+        return run_self_test(args.root)
+
+    subdirs = args.subdirs or ["src", "bench"]
+    try:
+        violations = run_lint(os.path.abspath(args.root), subdirs)
+    except FileNotFoundError as e:
+        print(f"rthv-lint: {e}", file=sys.stderr)
+        return 2
+    for v in violations:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+    if violations:
+        print(f"rthv-lint: {len(violations)} violation(s) in "
+              f"{len({v.path for v in violations})} file(s)")
+        return 1
+    print(f"rthv-lint: clean ({', '.join(subdirs)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
