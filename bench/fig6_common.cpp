@@ -3,7 +3,10 @@
 #include <ostream>
 
 #include "exp/run_result.hpp"
+#include "exp/seed.hpp"
 #include "exp/sweep_runner.hpp"
+#include "fault/fault_engine.hpp"
+#include "fault/oracle.hpp"
 #include "hv/overhead_model.hpp"
 #include "stats/export.hpp"
 #include "stats/table.hpp"
@@ -43,20 +46,37 @@ Fig6Result run_fig6(const Fig6Config& config) {
   const Duration hist_hi = Duration::us(8500);
   const Duration hist_bin = Duration::us(100);
 
+  // A fault plan is parsed once and shared (read-only) by all runs; each
+  // run arms its own engine with a seed derived from the run index.
+  fault::FaultPlan plan;
+  if (!config.fault_plan.empty()) {
+    plan = fault::load_fault_plan_file(config.fault_plan);
+  }
+  std::vector<fault::OracleReport> oracle_reports(config.load_percent.size());
+
   // One independent run per load step. Each run's seed depends only on its
   // index (config.seed + i, the original sequential seed sequence), so the
   // merged result is bit-identical for any job count.
   exp::SweepRunner runner(config.jobs);
   auto runs = runner.map(config.load_percent.size(), [&](std::size_t i) {
     core::HypervisorSystem system(base);
-    if (config.trace && i == 0) system.enable_tracing();
+    if ((config.trace && i == 0) || !plan.empty()) system.enable_tracing();
     const int load = config.load_percent[i];
     const auto lambda = Duration::ns(c_bh_eff.count_ns() * 100 / load);
     workload::ExponentialTraceGenerator gen(
         lambda, config.seed + i, config.enforce_floor ? d_min : Duration::zero());
     system.attach_trace(0, gen.generate(config.irqs_per_load));
     system.keep_completions(true);
-    system.run(Duration::s(1000));
+    fault::FaultEngine engine(system, plan, exp::derive_seed(config.seed, i));
+    if (!plan.empty()) engine.arm();
+    const Duration horizon =
+        !plan.empty() && plan.horizon.is_positive() ? plan.horizon : Duration::s(1000);
+    system.run(horizon);
+    if (!plan.empty()) {
+      const fault::InterferenceOracle oracle(
+          fault::InterferenceOracle::params_from(system));
+      oracle_reports[i] = oracle.verify(system.trace());
+    }
     auto out = exp::RunResult::capture(system);
     out.fill_histogram(hist_lo, hist_hi, hist_bin);
     return out;
@@ -88,6 +108,16 @@ Fig6Result run_fig6(const Fig6Config& config) {
       result.trace_meta = std::move(run.trace_meta);
     }
     result.trace_dropped += run.trace_dropped;
+  }
+  for (const auto& report : oracle_reports) {
+    result.oracle_windows += report.windows_checked;
+    result.oracle_violations +=
+        report.violations.size() + report.cost_violations.size();
+  }
+  for (const auto& counter : result.metrics.counters) {
+    if (counter.name.starts_with("fault/injected/")) {
+      result.fault_injected += counter.value;
+    }
   }
   return result;
 }
@@ -127,6 +157,11 @@ void print_fig6_report(std::ostream& os, const char* title, const Fig6Config& co
      << result.interpose_switches << ", deferred boundaries " << result.deferred_switches
      << ", denied by monitor " << result.denied_by_monitor << ", lost raises "
      << result.lost_raises << "\n";
+  if (result.fault_injected > 0 || result.oracle_windows > 0) {
+    os << "fault injection: " << result.fault_injected
+       << " actions; interference oracle checked " << result.oracle_windows
+       << " windows, " << result.oracle_violations << " violations\n";
+  }
   os << "\nlatency histogram over " << result.recorder.total() << " IRQs (100us bins):\n";
   result.histogram.write_ascii(os);
   os << "\n";

@@ -31,6 +31,10 @@ struct Fig6Config {
   std::uint64_t seed = 2014;     // DAC'14
   std::size_t jobs = 1;          // worker threads; results identical for any value
   bool trace = false;            // record a typed trace of the first load step
+  /// Fault-injection plan file (empty = none). Each load step runs the plan
+  /// with its own derived seed and is replayed through the interference
+  /// oracle; violations are merged into the result.
+  std::string fault_plan;
 };
 
 struct Fig6Result {
@@ -48,6 +52,9 @@ struct Fig6Result {
   std::vector<obs::TraceEvent> trace;  // first load step (if Fig6Config::trace)
   obs::TraceMeta trace_meta;
   std::uint64_t trace_dropped = 0;
+  std::uint64_t fault_injected = 0;     // fault-engine actions over all loads
+  std::uint64_t oracle_windows = 0;     // admission windows the oracle checked
+  std::uint64_t oracle_violations = 0;  // Eq. 14 / Eq. 13 violations (must be 0)
 };
 
 /// Runs the experiment and returns cumulative + per-load statistics.

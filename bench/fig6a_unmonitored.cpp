@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   config.enforce_floor = false;
   config.jobs = cli.jobs;
   config.trace = !cli.trace_out.empty();
+  config.fault_plan = cli.fault_plan;
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6a -- monitoring disabled", config,
                                  result);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full CI gate, runnable locally:
 #   1. configure + build with warnings-as-errors (RTHV_WERROR=ON)
-#   2. tier-1 test suite (ctest)
+#   2. tier-1 test suite (ctest), then the fault-injection campaigns as an
+#      explicit stage (ctest -L fault)
 #   3. static analysis: rthv_lint (self-test + src/ + bench/) and, when
 #      installed, clang-tidy over the files changed vs the merge base
 #      (all of src/ on a fresh checkout).
@@ -20,6 +21,12 @@ cmake --build build-ci -j "$jobs"
 
 echo "== tier-1 tests =="
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
+
+# The adversarial campaigns get their own visible stage: a soundness bug in
+# the monitor shows up here first (interference-oracle violations), and the
+# label keeps the stage cheap to re-run in isolation.
+echo "== fault-injection campaigns (ctest -L fault) =="
+ctest --test-dir build-ci --output-on-failure -L fault -j "$jobs"
 
 echo "== static analysis =="
 python3 tools/rthv_lint/rthv_lint.py --self-test

@@ -7,7 +7,7 @@
 //
 // Usage:
 //   rthv_run <config.ini|--baseline> [workload...] [--horizon-s N] [--dump-config]
-//            [--trace-out f.json] [--metrics-out f.json]
+//            [--trace-out f.json] [--metrics-out f.json] [--fault-plan plan]
 // Workloads (one per source, in source order):
 //   --exp <mean_us> <count> [floor_us]   exponential interarrivals
 //   --trace <file.csv>                   distances from a trace CSV
@@ -18,16 +18,26 @@
 // --trace-out writes a Chrome trace-event JSON of the run (open in Perfetto
 // or chrome://tracing); --metrics-out dumps the metrics snapshot as JSON
 // (text dump when the path ends in ".txt").
+//
+// --fault-plan runs a fault-injection campaign (see src/fault/fault_plan.hpp
+// for the plan format) on top of the workload: tracing is forced on, the
+// plan's injectors are armed, the run goes to the horizon (the plan's
+// [campaign] horizon if set), and the interference oracle replays the
+// admitted activations against I(dt) = ceil(dt/d_min) * C'_BH. Exits
+// non-zero on any oracle violation.
 #include <cstdlib>
 #include <cctype>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/checked.hpp"
 #include "core/config_loader.hpp"
 #include "core/hypervisor_system.hpp"
+#include "fault/fault_engine.hpp"
+#include "fault/oracle.hpp"
 #include "hv/overhead_model.hpp"
 #include "stats/export.hpp"
 #include "workload/generators.hpp"
@@ -41,7 +51,7 @@ void usage() {
   std::cerr << "usage: rthv_run <config.ini|--baseline> "
                "[--exp mean_us count [floor_us] | --trace file.csv]... "
                "[--horizon-s N] [--dump-config] [--trace-out f.json] "
-               "[--metrics-out f.json]\n";
+               "[--metrics-out f.json] [--fault-plan plan] [--fault-seed N]\n";
 }
 
 }  // namespace
@@ -69,6 +79,8 @@ int main(int argc, char** argv) {
   bool dump_config = false;
   std::string trace_out;
   std::string metrics_out;
+  std::string fault_plan_path;
+  std::uint64_t fault_seed = 1;
   std::uint64_t seed = 1;
   try {
     for (int i = 2; i < argc; ++i) {
@@ -97,6 +109,12 @@ int main(int argc, char** argv) {
       } else if (arg == "--metrics-out") {
         if (i + 1 >= argc) throw std::runtime_error("--metrics-out needs a path");
         metrics_out = argv[++i];
+      } else if (arg == "--fault-plan") {
+        if (i + 1 >= argc) throw std::runtime_error("--fault-plan needs a path");
+        fault_plan_path = argv[++i];
+      } else if (arg == "--fault-seed") {
+        if (i + 1 >= argc) throw std::runtime_error("--fault-seed needs a value");
+        fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
       } else {
         throw std::runtime_error("unknown argument '" + arg + "'");
       }
@@ -135,6 +153,23 @@ int main(int argc, char** argv) {
   for (std::uint32_t s = 0; s < traces.size(); ++s) {
     system.attach_trace(s, std::move(traces[s]));
   }
+
+  fault::FaultPlan fault_plan;
+  std::unique_ptr<fault::FaultEngine> fault_engine;
+  if (!fault_plan_path.empty()) {
+    try {
+      fault_plan = fault::load_fault_plan_file(fault_plan_path);
+      system.enable_tracing();  // the oracle replays the trace
+      fault_engine = std::make_unique<fault::FaultEngine>(system, fault_plan,
+                                                          fault_seed);
+      fault_engine->arm();
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    if (fault_plan.horizon.is_positive()) horizon = fault_plan.horizon;
+  }
+
   const auto completed = system.run(horizon);
 
   std::cout << "simulated " << system.simulator().now().as_us() / 1e6 << "s, "
@@ -178,6 +213,16 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
+  }
+
+  if (fault_engine) {
+    std::cout << "fault campaign: " << fault_engine->num_injectors()
+              << " injectors, " << fault_engine->total_injected() << " actions\n";
+    const fault::InterferenceOracle oracle(
+        fault::InterferenceOracle::params_from(system));
+    const auto report = oracle.verify(system.trace());
+    report.write(std::cout);
+    if (!report.ok()) return 1;
   }
   return 0;
 }

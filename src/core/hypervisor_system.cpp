@@ -107,6 +107,20 @@ HypervisorSystem::HypervisorSystem(const SystemConfig& config) : config_(config)
     platform_->add_timer(src.line);
   }
 
+  // Queue overflow is never silent: every dropped event bumps the global
+  // and per-partition counters (the hypervisor separately traces kIrqDrop
+  // and reports kIrqQueueOverflow health events).
+  queue_dropped_counter_ = metrics_.counter("irq_queue/dropped");
+  for (hv::PartitionId p = 0; p < hv_->num_partitions(); ++p) {
+    queue_dropped_by_partition_.push_back(
+        metrics_.counter("irq_queue/dropped/" + hv_->partition(p).name()));
+    hv_->partition(p).irq_queue().set_drop_observer(
+        [this, p](const hv::IrqEvent&) {
+          metrics_.add(queue_dropped_counter_);
+          metrics_.add(queue_dropped_by_partition_[p]);
+        });
+  }
+
   // Latency histograms: 100 us buckets from 0 to 8.5 ms (the span of the
   // paper's Fig. 6 panels); the tail lands in the overflow bucket.
   constexpr std::int64_t kBucketWidthNs = 100'000;
@@ -212,8 +226,9 @@ std::uint64_t HypervisorSystem::run(Duration horizon) {
     return lost;
   };
   // With no traces attached, run to the horizon (pure guest workloads).
-  while ((expected_ == 0 || completed_ + lost_on_sources() < expected_) && !sim_.idle() &&
-         sim_.now() < end) {
+  while ((run_to_horizon_ || expected_ == 0 ||
+          completed_ + lost_on_sources() < expected_) &&
+         !sim_.idle() && sim_.now() < end) {
     sim_.step();
   }
   return completed_;

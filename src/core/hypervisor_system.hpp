@@ -47,6 +47,12 @@ class HypervisorSystem {
   /// `horizon` passes. Returns the number of completed bottom handlers.
   std::uint64_t run(sim::Duration horizon);
 
+  /// Ignore the attached-trace completion count and always run to the
+  /// horizon (or simulator idleness). Fault-injection campaigns raise IRQs
+  /// beyond the attached traces, so counting completions against the trace
+  /// total would end the run early and non-obviously.
+  void set_run_to_horizon(bool on) { run_to_horizon_ = on; }
+
   // --- access ---------------------------------------------------------------
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const sim::Simulator& simulator() const { return sim_; }
@@ -95,6 +101,7 @@ class HypervisorSystem {
   std::uint64_t expected_ = 0;  // total trace activations attached
   std::uint64_t completed_ = 0;
   bool keep_completions_ = false;
+  bool run_to_horizon_ = false;
   bool started_ = false;
   stats::LatencyRecorder recorder_;
   std::vector<hv::CompletedIrq> completions_;
@@ -107,6 +114,8 @@ class HypervisorSystem {
   std::array<obs::MetricsRegistry::CounterHandle,
              static_cast<std::size_t>(stats::HandlingClass::kCount_)>
       completed_by_class_{};
+  obs::MetricsRegistry::CounterHandle queue_dropped_counter_;
+  std::vector<obs::MetricsRegistry::CounterHandle> queue_dropped_by_partition_;
 };
 
 }  // namespace rthv::core

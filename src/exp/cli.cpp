@@ -13,7 +13,7 @@ namespace {
 [[noreturn]] void usage_error(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N|auto] [--trace-out PATH] [--metrics-out PATH] "
-               "[positional args...]\n",
+               "[--fault-plan PATH] [positional args...]\n",
                argv0);
   std::exit(2);
 }
@@ -50,6 +50,11 @@ CliOptions parse_cli(int argc, char** argv) {
       options.metrics_out = argv[++i];
     } else if (arg.starts_with("--metrics-out=")) {
       options.metrics_out = arg.substr(14);
+    } else if (arg == "--fault-plan") {
+      if (i + 1 >= argc) usage_error(argv[0]);
+      options.fault_plan = argv[++i];
+    } else if (arg.starts_with("--fault-plan=")) {
+      options.fault_plan = arg.substr(13);
     } else {
       options.positional.emplace_back(arg);
     }

@@ -2,10 +2,11 @@
 //
 // Recognises `--jobs N`, `--jobs=N` and `--jobs auto` (hardware
 // concurrency), `--trace-out PATH` (Chrome trace-event JSON, Perfetto
-// loadable) and `--metrics-out PATH` (metrics JSON; `.txt` suffix selects
-// the text dump); everything else is returned as positional arguments in
-// order. Keeps the drivers' existing positional interfaces (e.g. an export
-// directory) intact.
+// loadable), `--metrics-out PATH` (metrics JSON; `.txt` suffix selects the
+// text dump) and `--fault-plan PATH` (fault-injection plan, see
+// src/fault/fault_plan.hpp); everything else is returned as positional
+// arguments in order. Keeps the drivers' existing positional interfaces
+// (e.g. an export directory) intact.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +19,7 @@ struct CliOptions {
   std::size_t jobs = 1;
   std::string trace_out;    // empty = tracing off
   std::string metrics_out;  // empty = no metrics dump
+  std::string fault_plan;   // empty = no fault injection
   std::vector<std::string> positional;
 };
 

@@ -1,0 +1,59 @@
+// FaultEngine: turns a FaultPlan into armed injectors on an assembled
+// HypervisorSystem and owns them for the run.
+//
+// Determinism contract: injector i of a plan gets
+// exp::derive_seed(campaign_seed, i) -- the same scheme sweeps use per run
+// -- so a campaign is a pure function of (config, plan, seed). In a sweep,
+// pass derive_seed(sweep_seed, run_index) as the campaign seed and every
+// run stays bit-identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/hypervisor_system.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+
+namespace rthv::fault {
+
+class FaultEngine {
+ public:
+  /// Builds one injector per plan entry. The system must outlive the
+  /// engine; the plan is copied.
+  FaultEngine(core::HypervisorSystem& system, const FaultPlan& plan,
+              std::uint64_t seed);
+
+  FaultEngine(const FaultEngine&) = delete;
+  FaultEngine& operator=(const FaultEngine&) = delete;
+
+  /// Arms every injector (validating specs against the system config and
+  /// registering the fault/injected/<kind> counters in plan order, which
+  /// keeps merged snapshots deterministic) and switches the system to
+  /// horizon-bounded running -- injected raises would otherwise end the run
+  /// early through the attached-trace completion count. Call once, before
+  /// HypervisorSystem::run().
+  void arm();
+
+  [[nodiscard]] std::uint64_t total_injected() const;
+  [[nodiscard]] std::size_t num_injectors() const { return injectors_.size(); }
+  [[nodiscard]] const FaultInjector& injector(std::size_t i) const {
+    return *injectors_.at(i);
+  }
+
+ private:
+  core::HypervisorSystem& system_;
+  InjectionContext ctx_;
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
+};
+
+/// Test-only hook behind the oracle's falsifiability requirement: replaces
+/// `source_index`'s monitor with DeltaMinMonitor(d_min / divisor) while the
+/// oracle keeps checking the configured d_min, so a conforming-looking run
+/// genuinely violates I(dt) and the oracle must say so. Call before the
+/// system starts. Throws if the source has no positive configured d_min.
+void weaken_monitor_for_test(core::HypervisorSystem& system,
+                             std::uint32_t source_index, std::int64_t divisor);
+
+}  // namespace rthv::fault

@@ -1,0 +1,178 @@
+// Fault injectors: deterministic adversarial event sources that attack the
+// hypervisor through the same hardware surfaces real devices use (IRQ-line
+// raises, latch clears, timer deadlines) -- never by reaching into
+// hypervisor state. Everything an injector does is therefore observable,
+// deniable and accountable exactly like real misbehaving hardware.
+//
+// Determinism: an injector owns a xoshiro256** generator seeded by the
+// FaultEngine with exp::derive_seed(campaign seed, injector index), and all
+// of its actions are simulator events, so a fault run is a pure function of
+// (config, plan, seed) -- bit-identical for any --jobs value.
+//
+// This header is hot-path code by lint policy (tools/rthv_lint): no raw
+// heap allocation, no wall-clock reads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/system_config.hpp"
+#include "fault/fault_plan.hpp"
+#include "hv/hypervisor.hpp"
+#include "hw/platform.hpp"
+#include "obs/metrics.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rthv::fault {
+
+/// Everything an injector may touch. The context outlives the simulation
+/// run (owned by the FaultEngine); injector callbacks hold references into
+/// it.
+struct InjectionContext {
+  sim::Simulator& sim;
+  hw::Platform& platform;
+  hv::Hypervisor& hv;
+  const core::SystemConfig& config;
+  obs::MetricsRegistry& metrics;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const InjectionSpec& spec, std::uint64_t seed);
+  virtual ~FaultInjector() = default;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Validates the spec against the system config, registers the
+  /// `fault/injected/<kind>` counter and schedules the injection events.
+  /// Call once, before the simulation runs.
+  void arm(InjectionContext& ctx);
+
+  [[nodiscard]] const InjectionSpec& spec() const { return spec_; }
+  [[nodiscard]] FaultKind kind() const { return spec_.kind; }
+
+  /// Actions performed so far (raises, latch clears, perturbed deadlines).
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+ protected:
+  virtual void do_arm(InjectionContext& ctx) = 0;
+
+  /// Counts one injection: bumps the kind counter and emits a kFaultInject
+  /// trace event (arg0 = kind, arg1 = per-kind payload).
+  void record_injection(InjectionContext& ctx, std::uint64_t arg1 = 0);
+
+  /// Raises the spec'd source's IRQ line; returns false when the raise was
+  /// lost to an already-set latch (the non-counting IRQ-flag hazard).
+  bool raise_source_line(InjectionContext& ctx);
+
+  [[nodiscard]] hw::IrqLine source_line() const { return spec_.source + 1; }
+
+  InjectionSpec spec_;
+  sim::Xoshiro256 rng_;
+
+ private:
+  obs::MetricsRegistry::CounterHandle counter_;
+  std::uint32_t trace_partition_ = UINT32_MAX;  // obs::kNoId
+  std::uint32_t trace_source_ = UINT32_MAX;
+  std::uint64_t injected_ = 0;
+};
+
+/// Periodic back-to-back bursts on one source. With `distance` equal to the
+/// monitor's d_min this is the maximal conforming pattern (every raise
+/// admitted); slightly under, it exercises the deny path at the boundary.
+class StormInjector final : public FaultInjector {
+ public:
+  using FaultInjector::FaultInjector;
+
+ private:
+  void do_arm(InjectionContext& ctx) override;
+};
+
+/// Seeded random extra raises with exponential interarrival times --
+/// electrical glitches / shared-line noise.
+class SpuriousInjector final : public FaultInjector {
+ public:
+  using FaultInjector::FaultInjector;
+
+ private:
+  void do_arm(InjectionContext& ctx) override;
+  void schedule_next(InjectionContext& ctx, std::uint64_t remaining);
+};
+
+/// Periodically clears the source's pending latch, turning latched-but-not-
+/// yet-serviced interrupts into silently lost ones.
+class DropInjector final : public FaultInjector {
+ public:
+  using FaultInjector::FaultInjector;
+
+ private:
+  void do_arm(InjectionContext& ctx) override;
+};
+
+/// Installs a deadline transform on the TDMA tick timer: constant drift
+/// (ppm of elapsed time) plus uniform per-deadline jitter. Slot boundaries
+/// wander off the analysis grid while the monitors keep judging true raise
+/// distances -- temporal independence must survive a bad oscillator.
+class ClockDriftInjector final : public FaultInjector {
+ public:
+  using FaultInjector::FaultInjector;
+
+ private:
+  void do_arm(InjectionContext& ctx) override;
+  [[nodiscard]] sim::TimePoint transform(InjectionContext& ctx, sim::TimePoint deadline);
+
+  std::int64_t epoch_ns_ = 0;
+};
+
+/// Raises the source `lead` before each TDMA boundary so the resulting
+/// bottom handler straddles the boundary and forces a deferred slot switch
+/// -- the engine's bounded-interference mechanism under maximal pressure.
+class SlotOverrunInjector final : public FaultInjector {
+ public:
+  using FaultInjector::FaultInjector;
+
+ private:
+  void do_arm(InjectionContext& ctx) override;
+};
+
+/// Tight-spaced raise train that outruns the subscriber's queue drain rate
+/// and overflows its IRQ queue (drops must be counted, never silent).
+class FloodInjector final : public FaultInjector {
+ public:
+  using FaultInjector::FaultInjector;
+
+ private:
+  void do_arm(InjectionContext& ctx) override;
+};
+
+/// Greedy adversary searching for the activation pattern that maximizes
+/// admitted interference: it mirrors the monitor's tracebuffer (Algorithm 1
+/// records *every* activation, so the shadow stays exact) and raises at the
+/// earliest instant the delta^- condition still admits. With probe_every
+/// set, every Nth raise lands probe_under short of d_min instead -- which a
+/// correct monitor must deny.
+class AdversaryInjector final : public FaultInjector {
+ public:
+  using FaultInjector::FaultInjector;
+
+ private:
+  void do_arm(InjectionContext& ctx) override;
+  void schedule_next(InjectionContext& ctx, std::uint64_t remaining);
+  [[nodiscard]] sim::TimePoint earliest_admissible(sim::TimePoint now) const;
+  void shadow_record(sim::TimePoint t);
+
+  mon::DeltaVector deltas_;
+  std::vector<sim::TimePoint> shadow_;  // [0] = most recent raise
+  std::size_t shadow_count_ = 0;
+  std::uint64_t raises_done_ = 0;
+};
+
+/// Builds the injector for a spec (the engine's factory).
+[[nodiscard]] std::unique_ptr<FaultInjector> make_injector(const InjectionSpec& spec,
+                                                           std::uint64_t seed);
+
+}  // namespace rthv::fault

@@ -1,0 +1,198 @@
+#include "fault/oracle.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/hypervisor_system.hpp"
+
+namespace rthv::fault {
+
+using obs::TraceCategory;
+using obs::TraceEvent;
+using obs::TracePoint;
+using sim::Duration;
+
+InterferenceOracle::InterferenceOracle(std::vector<OracleSourceParams> params)
+    : params_(std::move(params)) {}
+
+std::vector<OracleSourceParams> InterferenceOracle::params_from(
+    const core::HypervisorSystem& system) {
+  const auto& oh = system.hypervisor().overheads();
+  std::vector<OracleSourceParams> out;
+  for (std::uint32_t s = 0; s < system.config().sources.size(); ++s) {
+    const auto& spec = system.config().sources[s];
+    Duration d_min;
+    if (spec.monitor == core::MonitorKind::kDeltaMin) {
+      d_min = spec.d_min;
+    } else if (spec.monitor == core::MonitorKind::kDeltaVector &&
+               !spec.delta_vector.empty()) {
+      d_min = spec.delta_vector[0];
+    } else {
+      continue;  // source has no delta^- condition; Eq. 14 does not apply
+    }
+    if (!d_min.is_positive()) continue;
+    OracleSourceParams p;
+    p.source = s;
+    p.d_min = d_min;
+    p.c_bh_eff = oh.effective_bottom_cost(spec.c_bottom);
+    p.pre_cost = oh.sched_manipulation_cost() + oh.context_switch_cost();
+    out.push_back(p);
+  }
+  return out;
+}
+
+namespace {
+
+/// Running state of the O(n) all-windows admission check for one source.
+struct WindowState {
+  std::uint64_t count = 0;   // admissions seen
+  std::int64_t max_u = 0;    // max over u_k = t_k - k*d_min
+  std::uint64_t argmax = 0;  // admission index attaining max_u
+  std::int64_t argmax_t = 0;
+};
+
+/// Open kInterposeEnter span for the cost check.
+struct SpanState {
+  bool open = false;
+  bool preempted = false;
+  std::uint32_t source = 0;
+  std::int64_t enter_ns = 0;
+};
+
+}  // namespace
+
+OracleReport InterferenceOracle::verify(
+    const std::vector<TraceEvent>& events) const {
+  OracleReport report;
+  std::vector<WindowState> windows(params_.size());
+  SpanState span;
+
+  // params_ is small (one entry per monitored source); linear lookup keeps
+  // the replay allocation-free in the loop.
+  const auto find = [&](std::uint32_t source) -> std::size_t {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (params_[i].source == source) return i;
+    }
+    return params_.size();
+  };
+
+  const auto close_span = [&](std::int64_t end_ns) {
+    if (!span.open) return;
+    span.open = false;
+    if (span.preempted) {
+      ++report.preempted_spans;
+      return;
+    }
+    const std::size_t p = find(span.source);
+    if (p == params_.size()) return;
+    ++report.spans_checked;
+    const std::int64_t total =
+        end_ns - span.enter_ns + params_[p].pre_cost.count_ns();
+    report.max_interposition_ns = std::max(report.max_interposition_ns, total);
+    if (total > params_[p].c_bh_eff.count_ns()) {
+      OracleViolation v;
+      v.source = span.source;
+      v.window_start_ns = span.enter_ns;
+      v.window_end_ns = end_ns;
+      v.admitted = 1;
+      v.bound = static_cast<std::uint64_t>(params_[p].c_bh_eff.count_ns());
+      report.cost_violations.push_back(v);
+    }
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.point) {
+      case TracePoint::kInterposeStart: {
+        ++report.interpositions;
+        const std::size_t p = find(e.source);
+        if (p == params_.size()) break;
+        WindowState& w = windows[p];
+        const std::int64_t d = params_[p].d_min.count_ns();
+        const std::int64_t t = static_cast<std::int64_t>(e.arg0);
+        const std::int64_t u = t - static_cast<std::int64_t>(w.count) * d;
+        if (w.count > 0) {
+          ++report.windows_checked;
+          // eta+(dt) = ceil(dt/d_min) counts events in half-open windows, so
+          // the tightest window holding admissions i..j (length -> span+)
+          // allows floor(span/d_min) + 1 of them. Violation in *some* window
+          // <=> admitted > that for the running-max i: u_j < max_i(u_i).
+          const std::int64_t window = t - w.argmax_t;
+          const std::uint64_t admitted = w.count - w.argmax + 1;
+          const std::uint64_t bound =
+              window < 0 ? 1
+                         : static_cast<std::uint64_t>(
+                               window / params_[p].d_min.count_ns()) +
+                               1;
+          if (u < w.max_u) {
+            OracleViolation v;
+            v.source = e.source;
+            v.first_index = w.argmax;
+            v.last_index = w.count;
+            v.window_start_ns = w.argmax_t;
+            v.window_end_ns = t;
+            v.admitted = admitted;
+            v.bound = bound;
+            report.violations.push_back(v);
+          }
+          report.worst_ratio =
+              std::max(report.worst_ratio, static_cast<double>(admitted) /
+                                               static_cast<double>(bound));
+        }
+        if (w.count == 0 || u > w.max_u) {
+          w.max_u = u;
+          w.argmax = w.count;
+          w.argmax_t = t;
+        }
+        ++w.count;
+        break;
+      }
+      case TracePoint::kInterposeEnter:
+        span.open = true;
+        span.preempted = false;
+        span.source = e.source;
+        span.enter_ns = e.time_ns;
+        break;
+      case TracePoint::kInterposeReturn:
+      case TracePoint::kInterposeExitDeferred:
+        close_span(e.time_ns);
+        break;
+      default:
+        // Any hypervisor work inside the span (preempting top handlers, the
+        // monitor they trigger, a TDMA tick) inflates its wall-clock beyond
+        // what Eq. 14 attributes to this interposition -- exclude the span.
+        if (span.open && (e.category == TraceCategory::kTopHandler ||
+                          e.category == TraceCategory::kMonitor ||
+                          e.category == TraceCategory::kScheduler)) {
+          span.preempted = true;
+        }
+        break;
+    }
+  }
+  return report;
+}
+
+void OracleReport::write(std::ostream& out) const {
+  out << "interference oracle: " << interpositions << " interpositions, "
+      << windows_checked << " windows checked (worst admitted/bound "
+      << worst_ratio << "), " << spans_checked << " spans checked ("
+      << preempted_spans << " preempted, worst cost " << max_interposition_ns
+      << " ns)";
+  if (ok()) {
+    out << " -- all within I(dt) = ceil(dt/d_min) * C'_BH\n";
+    return;
+  }
+  out << "\n";
+  for (const auto& v : violations) {
+    out << "  VIOLATION source " << v.source << ": " << v.admitted
+        << " admissions in [" << v.window_start_ns << ", " << v.window_end_ns
+        << "] ns (indices " << v.first_index << ".." << v.last_index
+        << ") exceed bound " << v.bound << "\n";
+  }
+  for (const auto& v : cost_violations) {
+    out << "  COST VIOLATION source " << v.source << ": interposition ["
+        << v.window_start_ns << ", " << v.window_end_ns << "] ns exceeds C'_BH "
+        << v.bound << " ns\n";
+  }
+}
+
+}  // namespace rthv::fault

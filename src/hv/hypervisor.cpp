@@ -286,7 +286,7 @@ void Hypervisor::finish_top_handler(IrqSourceId sid, IrqEvent event) {
   ++irq_path_stats_.monitor_checked;
   run_hv_step(
       hw::WorkCategory::kMonitor, overheads_.monitor_cost(),
-      [this, sid, admitted, seq = event.seq] {
+      [this, sid, admitted, raise_time = event.raise_time, seq = event.seq] {
         const PartitionId subscriber_id = sources_[sid].config.subscriber;
         const auto deny = [this, sid, subscriber_id, seq](obs::InterposeDenyReason r) {
           trace(TracePoint::kInterposeDeny, TraceCategory::kMonitor, subscriber_id, sid,
@@ -327,14 +327,21 @@ void Hypervisor::finish_top_handler(IrqSourceId sid, IrqEvent event) {
           return_to_partition();
           return;
         }
-        start_interpose(sid);
+        start_interpose(sid, raise_time, seq);
       });
 }
 
-void Hypervisor::start_interpose(IrqSourceId sid) {
+void Hypervisor::start_interpose(IrqSourceId sid, TimePoint raise_time,
+                                 std::uint64_t seq) {
   assert(hv_busy_ && !interpose_);
   ++irq_path_stats_.interpose_started;
   const PartitionId target = sources_[sid].config.subscriber;
+  // The admitted activation's *raise* time rides in arg0: the interference
+  // oracle replays these against the I(dt) bound, and raise times -- not the
+  // (overhead-shifted) context-switch instants -- are what the delta^-
+  // condition constrains.
+  trace(TracePoint::kInterposeStart, TraceCategory::kInterpose, target, sid,
+        static_cast<std::uint64_t>(raise_time.count_ns()), seq);
   run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.sched_manipulation_cost(),
               [this, sid, target] {
                 ++ctx_stats_.interpose_enter;

@@ -268,7 +268,7 @@ class Hypervisor {
   void service_tdma_tick();
   void do_slot_switch();
   void finish_top_handler(IrqSourceId sid, IrqEvent event);
-  void start_interpose(IrqSourceId sid);
+  void start_interpose(IrqSourceId sid, sim::TimePoint raise_time, std::uint64_t seq);
   void end_interpose();
 
   // Partition context.

@@ -12,6 +12,7 @@ IrqQueue::IrqQueue(std::size_t capacity) : capacity_(capacity) {
 bool IrqQueue::push(const IrqEvent& event) {
   if (events_.size() >= capacity_) {
     ++drops_;
+    if (on_drop_) on_drop_(event);
     return false;
   }
   events_.push_back(event);

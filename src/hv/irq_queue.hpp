@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 
 #include "hv/types.hpp"
 
@@ -22,6 +23,13 @@ class IrqQueue {
 
   /// Returns false (and counts a drop) when the queue is full.
   bool push(const IrqEvent& event);
+
+  /// Observer invoked for every dropped event, after the drop is counted.
+  /// Overflow must never pass silently: the owner wires this to an
+  /// `irq_queue/dropped` metric (and the hypervisor separately emits a
+  /// kIrqDrop trace event + health report).
+  using DropObserver = std::function<void(const IrqEvent&)>;
+  void set_drop_observer(DropObserver observer) { on_drop_ = std::move(observer); }
 
   /// Pops the oldest event. Queue must not be empty.
   IrqEvent pop();
@@ -40,6 +48,7 @@ class IrqQueue {
  private:
   std::size_t capacity_;
   std::deque<IrqEvent> events_;
+  DropObserver on_drop_;
   std::uint64_t drops_ = 0;
   std::uint64_t pushed_ = 0;
   std::size_t high_watermark_ = 0;

@@ -1,5 +1,6 @@
 #include "hw/hw_timer.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rthv::hw {
@@ -21,9 +22,14 @@ void HwTimer::program_periodic(sim::Duration period) {
 void HwTimer::program_at(sim::TimePoint deadline) {
   assert(deadline >= sim_.now());
   disarm();
-  deadline_ = deadline;
+  deadline_ = perturbed(deadline);
   armed_ = true;
-  pending_ = sim_.schedule_at(deadline, [this] { fire(); });
+  pending_ = sim_.schedule_at(deadline_, [this] { fire(); });
+}
+
+sim::TimePoint HwTimer::perturbed(sim::TimePoint deadline) const {
+  if (!deadline_transform_) return deadline;
+  return std::max(deadline_transform_(deadline), sim_.now());
 }
 
 void HwTimer::disarm() {
@@ -43,7 +49,7 @@ void HwTimer::fire() {
   ++fires_;
   if (reload_.is_positive()) {
     // Auto-reload before the hook so the hook may cancel or reprogram.
-    deadline_ = deadline_ + reload_;
+    deadline_ = perturbed(deadline_ + reload_);
     armed_ = true;
     pending_ = sim_.schedule_at(deadline_, [this] { fire(); });
   }

@@ -42,9 +42,20 @@ class HwTimer {
   /// arrays).
   void set_on_expiry(std::function<void()> hook) { on_expiry_ = std::move(hook); }
 
+  /// Optional fault hook applied to every deadline the timer arms (one-shot
+  /// and auto-reload alike): models oscillator drift / jitter on the tick
+  /// source. The transformed deadline is clamped to the current simulation
+  /// time, so a perturbation can advance or delay a tick but never schedule
+  /// it in the past.
+  using DeadlineTransform = std::function<sim::TimePoint(sim::TimePoint)>;
+  void set_deadline_transform(DeadlineTransform transform) {
+    deadline_transform_ = std::move(transform);
+  }
+
  private:
   void fire();
   void disarm();
+  [[nodiscard]] sim::TimePoint perturbed(sim::TimePoint deadline) const;
 
   sim::Simulator& sim_;
   InterruptController& intc_;
@@ -55,6 +66,7 @@ class HwTimer {
   sim::Duration reload_;  // zero = one-shot
   std::uint64_t fires_ = 0;
   std::function<void()> on_expiry_;
+  DeadlineTransform deadline_transform_;
 };
 
 /// Free-running timestamp source (the paper's "second timer" used for

@@ -17,6 +17,7 @@ std::string_view to_string(TraceCategory c) {
     case TraceCategory::kBottom: return "bottom";
     case TraceCategory::kGuest: return "guest";
     case TraceCategory::kOther: return "other";
+    case TraceCategory::kFault: return "fault";
     case TraceCategory::kCount_: break;
   }
   return "?";
@@ -44,6 +45,8 @@ std::string_view to_string(TracePoint p) {
     case TracePoint::kBottomResume: return "bh-resume";
     case TracePoint::kBottomEnd: return "bh-end";
     case TracePoint::kHealth: return "health";
+    case TracePoint::kInterposeStart: return "interpose-start";
+    case TracePoint::kFaultInject: return "fault-inject";
     case TracePoint::kCount_: break;
   }
   return "?";
@@ -161,6 +164,7 @@ class ChromeWriter {
       case TracePoint::kMonitorAdmit:
       case TracePoint::kMonitorDeny:
       case TracePoint::kInterposeDeny:
+      case TracePoint::kInterposeStart:
         emit_instant(kMonitorTid, e);
         break;
       case TracePoint::kLegacy:
@@ -171,6 +175,7 @@ class ChromeWriter {
       case TracePoint::kIrqPop:
       case TracePoint::kIrqDrop:
       case TracePoint::kHealth:
+      case TracePoint::kFaultInject:
       case TracePoint::kCount_:
         emit_instant(kHypervisorTid, e);
         break;

@@ -39,6 +39,7 @@ enum class TraceCategory : std::uint8_t {
   kBottom,      // bottom-handler execution
   kGuest,       // guest OS activity
   kOther,       // health events, legacy string records
+  kFault,       // fault-injection engine activity (src/fault)
   kCount_,
 };
 
@@ -64,6 +65,8 @@ enum class TracePoint : std::uint8_t {
   kBottomResume,      // preempted/budget-split bottom handler resumes; arg0 = seq
   kBottomEnd,         // bottom handler completed; arg0 = seq, arg1 = HandlingClass
   kHealth,            // re-emitted health event; arg0 = HealthEventKind
+  kInterposeStart,    // interposition granted; arg0 = admitted raise time ns, arg1 = seq
+  kFaultInject,       // fault engine action; arg0 = fault kind, arg1 = per-kind payload
   kCount_,
 };
 

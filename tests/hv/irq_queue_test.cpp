@@ -40,6 +40,39 @@ TEST(IrqQueueTest, FullQueueDropsAndCounts) {
   EXPECT_EQ(q.total_pushed(), 2u);
 }
 
+TEST(IrqQueueTest, DropObserverFiresOncePerOverflow) {
+  IrqQueue q(2);
+  std::uint64_t observed = 0;
+  std::uint64_t last_dropped_seq = 0;
+  q.set_drop_observer([&](const IrqEvent& e) {
+    ++observed;
+    last_dropped_seq = e.seq;
+  });
+  q.push(event(1));
+  q.push(event(2));
+  EXPECT_EQ(observed, 0u) << "observer must not fire on successful pushes";
+  q.push(event(3));
+  q.push(event(4));
+  EXPECT_EQ(observed, 2u);
+  EXPECT_EQ(last_dropped_seq, 4u) << "observer must see the dropped event";
+  EXPECT_EQ(q.drops(), observed) << "observer calls must track the drop count";
+}
+
+TEST(IrqQueueTest, StormPastCapacityKeepsOldestEvents) {
+  // A storm of 64 pushes against a 4-slot queue: the queue keeps the first
+  // four events (FIFO, no overwrite) and reports every other push as a drop.
+  IrqQueue q(4);
+  std::uint64_t observed = 0;
+  q.set_drop_observer([&observed](const IrqEvent&) { ++observed; });
+  for (std::uint64_t seq = 1; seq <= 64; ++seq) q.push(event(seq));
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.drops(), 60u);
+  EXPECT_EQ(observed, 60u);
+  EXPECT_EQ(q.total_pushed(), 4u);
+  EXPECT_EQ(q.pop().seq, 1u);
+  EXPECT_EQ(q.pop().seq, 2u);
+}
+
 TEST(IrqQueueTest, PopMakesRoom) {
   IrqQueue q(1);
   q.push(event(1));

@@ -265,7 +265,7 @@ TEST_F(PerfettoRoundtripTest, MonitorTrackCarriesDecisions) {
       ++instants_on_monitor;
       const std::string& name = e.at("name").str();
       EXPECT_TRUE(name == "mon-admit" || name == "mon-deny" ||
-                  name == "interpose-deny")
+                  name == "interpose-deny" || name == "interpose-start")
           << "unexpected monitor-track event " << name;
       if (name == "mon-admit") {
         ++admits;

@@ -31,11 +31,20 @@ cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_SANITIZE=ON
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
+echo "== ASan + UBSan: fault-injection campaigns (ctest -L fault) =="
+ctest --test-dir build-asan --output-on-failure -L fault -j "$jobs"
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== TSan build (full suite) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_TSAN=ON
   cmake --build build-tsan -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+
+  # The --jobs bit-identity contract for fault sweeps is exactly the kind of
+  # property TSan falsifies: injectors and oracle replay must never share
+  # mutable state across sweep workers.
+  echo "== TSan: fault-injection campaigns (ctest -L fault) =="
+  ctest --test-dir build-tsan --output-on-failure -L fault -j "$jobs"
 fi
 
 echo "sanitized runs passed"

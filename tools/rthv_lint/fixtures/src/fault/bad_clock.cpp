@@ -1,0 +1,13 @@
+// Fixture: nondeterministic sources inside the fault subsystem. A campaign
+// must be a pure function of (config, plan, seed); wall-clock or ambient
+// randomness would break bit-identical --jobs sweeps and golden traces.
+#include <cstdlib>
+
+unsigned long long fixture_campaign_seed() {
+  auto now = std::chrono::steady_clock::now();     // rthv-lint-expect: no-wallclock
+  (void)now;
+  unsigned jitter = std::random_device{}();        // rthv-lint-expect: no-wallclock
+  const char* plan = std::getenv("FAULT_PLAN");    // rthv-lint-expect: no-wallclock
+  (void)plan;
+  return jitter;
+}

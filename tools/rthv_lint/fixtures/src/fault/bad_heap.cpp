@@ -1,0 +1,11 @@
+// Fixture: raw heap allocation inside the fault subsystem. Injector
+// callbacks execute as simulation events on the hot path -- storage is
+// reserved at arm() time, never per injected action.
+#include <cstdlib>
+
+int* fixture_injector_state() {
+  int* shadow = new int[8];                        // rthv-lint-expect: no-hot-alloc
+  void* scratch = std::malloc(64);                 // rthv-lint-expect: no-hot-alloc
+  std::free(scratch);
+  return shadow;
+}

@@ -9,9 +9,11 @@ reproduction's correctness story rests on but that a compiler cannot check:
                        src/exp/ timing code. The simulator must be a pure
                        function of its seed; a stray steady_clock::now()
                        breaks bit-identical --jobs sweeps.
-  no-hot-alloc         No raw new/malloc in src/sim/ and src/hv/ (the
-                       simulator hot paths). Steady-state event handling
-                       must not allocate; growth paths need a waiver.
+  no-hot-alloc         No raw new/malloc in src/sim/, src/hv/ and
+                       src/fault/ (the simulator hot paths; fault
+                       injectors run as simulation events). Steady-state
+                       event handling must not allocate; growth paths
+                       need a waiver.
   trace-registered-id  Every obs::TracePoint::kX referenced anywhere must
                        be an enumerator registered in
                        src/obs/trace_event.hpp (ids are part of the trace
@@ -255,9 +257,10 @@ ALLOC_HEAP_NEW = re.compile(r"\bnew\b(?!\s*\()")  # `new (addr)` = placement, al
 ALLOC_C_FUNCS = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
 
 
-@rule("no-hot-alloc", "no raw new/malloc in src/sim/ and src/hv/ hot paths")
+@rule("no-hot-alloc",
+      "no raw new/malloc in src/sim/, src/hv/ and src/fault/ hot paths")
 def check_hot_alloc(src: SourceFile, ctx: LintContext):
-    if not _in(src.relpath, "src/sim/", "src/hv/"):
+    if not _in(src.relpath, "src/sim/", "src/hv/", "src/fault/"):
         return
     for lineno, line in enumerate(src.code_lines, 1):
         if INCLUDE_RE.match(line):  # e.g. #include <new>
