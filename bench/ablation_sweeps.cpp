@@ -76,7 +76,12 @@ int main(int argc, char** argv) {
   exp::SweepRunner runner(cli.jobs);
 
   constexpr std::size_t kIrqs = 2000;
-  const auto base = core::SystemConfig::paper_baseline();
+  auto base = core::SystemConfig::paper_baseline();
+  // Every sweep below runs a 600 s horizon with a small steady-state pending
+  // set; the hints let the event core pre-size its slot arena and far heap
+  // so no run grows tables mid-measurement.
+  base.sim_horizon_hint = Duration::s(600);
+  base.expected_pending_events = 128;
   const Duration c_bh_eff = c_bh_eff_of(base);
   const auto lambda = Duration::ns(c_bh_eff.count_ns() * 10);  // 10% load
 
@@ -381,6 +386,7 @@ int main(int argc, char** argv) {
       cfg.mode = hv::TopHandlerMode::kInterposing;
       cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
       cfg.sources[0].d_min = lambda;
+      cfg.sim_horizon_hint = horizon;  // campaign horizon from the fault plan
       core::HypervisorSystem system(cfg);
       system.enable_tracing();
       workload::ExponentialTraceGenerator gen(lambda, 700 + i, lambda);

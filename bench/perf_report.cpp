@@ -9,20 +9,26 @@
 //     "benchmarks": { "<name>": { "ns_per_op": ..., "events_per_sec": ... } } }
 //
 // The JSON at the repo root is the committed baseline; future PRs re-run
-// `cmake --build build --target perf_report_json` and diff against it.
+// `cmake --build build --target perf_report_json` and diff against it, or
+// let the harness do the diff: `--compare <baseline.json>` re-runs the
+// suite and exits nonzero if any committed benchmark regressed by more
+// than 10% (ci/run_ci.sh runs this as its perf gate).
 //
-// usage: perf_report [output.json] [--benchmark_* flags]
+// usage: perf_report [output.json] [--compare baseline.json] [--benchmark_* flags]
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/hypervisor_system.hpp"
+#include "mon/monitor.hpp"
 #include "obs/trace_ring.hpp"
 #include "sim/event_queue.hpp"
 #include "workload/generators.hpp"
@@ -158,6 +164,33 @@ void trace_overhead_enabled(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+// Monitor admission checks (the paper's delta-minus test): these sit on the
+// IRQ hot path between queue pop and guest injection, so their cost belongs
+// in the committed baseline next to the queue numbers.
+void delta_min_admit(benchmark::State& state) {
+  mon::DeltaMinMonitor monitor(Duration::us(100));
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 73'000;
+    benchmark::DoNotOptimize(monitor.record_and_check(TimePoint::at_ns(t)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void delta_vector_admit(benchmark::State& state) {
+  mon::DeltaVector deltas;
+  for (std::size_t i = 0; i < 5; ++i) {
+    deltas.push_back(Duration::us(100 * static_cast<std::int64_t>(i + 1)));
+  }
+  mon::DeltaVectorMonitor monitor(deltas);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 73'000;
+    benchmark::DoNotOptimize(monitor.record_and_check(TimePoint::at_ns(t)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 // --- result collection ------------------------------------------------------
 
 struct Measurement {
@@ -232,14 +265,101 @@ void write_json(const std::string& path,
   os << "}\n";
 }
 
+// --- baseline comparison ----------------------------------------------------
+
+/// Reads the `benchmarks` object of an rthv-perf-v1 JSON (the format
+/// write_json emits) into name -> ns_per_op. Hand-rolled scan: the schema
+/// is this tool's own output, so a full JSON parser buys nothing.
+std::map<std::string, double> read_baseline_ns(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::cerr << "perf_report: cannot read baseline " << path << "\n";
+    std::exit(2);
+  }
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  std::size_t pos = text.find("\"benchmarks\"");
+  if (pos == std::string::npos) {
+    std::cerr << "perf_report: " << path << " has no \"benchmarks\" object\n";
+    std::exit(2);
+  }
+  std::map<std::string, double> out;
+  while ((pos = text.find("\"ns_per_op\"", pos)) != std::string::npos) {
+    // The benchmark name is the quoted key before the enclosing '{'.
+    const std::size_t brace = text.rfind('{', pos);
+    const std::size_t colon = text.rfind(':', brace);
+    const std::size_t name_end = text.rfind('"', colon);
+    const std::size_t name_begin = text.rfind('"', name_end - 1);
+    const std::string name = text.substr(name_begin + 1, name_end - name_begin - 1);
+    const std::size_t value_at = text.find(':', pos) + 1;
+    out[name] = std::strtod(text.c_str() + value_at, nullptr);
+    pos = value_at;
+  }
+  if (out.empty()) {
+    std::cerr << "perf_report: baseline " << path << " lists no benchmarks\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Compares fresh results against a committed baseline. Fails (exit 1) if
+/// any baseline benchmark is missing from this run or slowed down by more
+/// than 10%. A small absolute slack keeps sub-nanosecond entries (the
+/// disabled trace-site probe) from tripping the gate on timer quantization.
+int compare_against(const std::string& baseline_path,
+                    const std::map<std::string, Measurement>& results) {
+  constexpr double kRelTolerance = 0.10;
+  constexpr double kAbsSlackNs = 0.25;
+  const auto baseline = read_baseline_ns(baseline_path);
+  int failures = 0;
+  std::printf("\n%-44s %12s %12s %8s\n", "benchmark", "baseline ns", "current ns",
+              "ratio");
+  for (const auto& [name, base_ns] : baseline) {
+    const auto it = results.find(name);
+    if (it == results.end()) {
+      std::printf("%-44s %12.3f %12s %8s  FAIL (missing)\n", name.c_str(), base_ns,
+                  "-", "-");
+      ++failures;
+      continue;
+    }
+    const double cur_ns = it->second.ns_per_op;
+    const bool regressed = cur_ns > base_ns * (1.0 + kRelTolerance) + kAbsSlackNs;
+    std::printf("%-44s %12.3f %12.3f %8.3f%s\n", name.c_str(), base_ns, cur_ns,
+                cur_ns / base_ns, regressed ? "  FAIL (>10% regression)" : "");
+    if (regressed) ++failures;
+  }
+  for (const auto& [name, m] : results) {
+    if (!baseline.contains(name)) {
+      std::printf("%-44s %12s %12.3f %8s  (new, not in baseline)\n", name.c_str(),
+                  "-", m.ns_per_op, "-");
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "perf_report: %d benchmark(s) regressed >10%% against %s\n",
+                 failures, baseline_path.c_str());
+    return 1;
+  }
+  std::printf("perf_report: no regression against %s\n", baseline_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string output = "BENCH_sim_throughput.json";
-  // First non --benchmark_* argument is the output path.
+  std::string compare_baseline;
+  // First non --benchmark_* argument is the output path; `--compare <path>`
+  // (or `--compare=<path>`) additionally gates this run against a committed
+  // baseline.
   std::vector<char*> bench_args{argv[0]};
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]).starts_with("--")) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--compare" && i + 1 < argc) {
+      compare_baseline = argv[++i];
+    } else if (arg.starts_with("--compare=")) {
+      compare_baseline = std::string(arg.substr(std::string_view("--compare=").size()));
+    } else if (arg.starts_with("--")) {
       bench_args.push_back(argv[i]);
     } else {
       output = argv[i];
@@ -251,6 +371,8 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("event_queue/schedule_cancel", schedule_cancel)
       ->Arg(1000)->Arg(100000);
   benchmark::RegisterBenchmark("event_queue/mixed_hv_pattern", mixed_hv_pattern);
+  benchmark::RegisterBenchmark("mon/delta_min_admit", delta_min_admit);
+  benchmark::RegisterBenchmark("mon/delta_vector_admit", delta_vector_admit);
   benchmark::RegisterBenchmark("obs/trace_overhead_ns", trace_overhead_disabled);
   benchmark::RegisterBenchmark("obs/trace_overhead_enabled_ns", trace_overhead_enabled);
   benchmark::RegisterBenchmark("full_system/events", full_system_events)
@@ -266,5 +388,8 @@ int main(int argc, char** argv) {
 
   write_json(output, reporter.results());
   std::cout << "wrote " << output << "\n";
+  if (!compare_baseline.empty()) {
+    return compare_against(compare_baseline, reporter.results());
+  }
   return 0;
 }

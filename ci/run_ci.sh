@@ -28,6 +28,24 @@ ctest --test-dir build-ci --output-on-failure -j "$jobs"
 echo "== fault-injection campaigns (ctest -L fault) =="
 ctest --test-dir build-ci --output-on-failure -L fault -j "$jobs"
 
+# Benchmarks must at least run: second-scale smoke invocations of both
+# google-benchmark binaries (crashes/asserts, not numbers).
+echo "== perf smoke (ctest -L perf-smoke) =="
+ctest --test-dir build-ci --output-on-failure -L perf-smoke -j 1
+
+# The perf gate proper: re-run the suite at real min_time and fail on >10%
+# ns/op regression of any benchmark in the committed baseline. Serial on
+# purpose -- benchmark numbers taken next to a parallel build are garbage.
+# One retry: shared hosts have multi-minute slow windows that shift every
+# benchmark at once; a real regression fails both runs.
+echo "== perf gate (perf_report --compare) =="
+if ! ./build-ci/bench/perf_report build-ci/bench/ci_perf.json \
+    --compare BENCH_sim_throughput.json; then
+  echo "perf gate failed; retrying once to rule out a noisy-host window"
+  ./build-ci/bench/perf_report build-ci/bench/ci_perf.json \
+    --compare BENCH_sim_throughput.json
+fi
+
 echo "== static analysis =="
 python3 tools/rthv_lint/rthv_lint.py --self-test
 python3 tools/rthv_lint/rthv_lint.py src bench

@@ -69,6 +69,12 @@ struct SystemConfig {
   sim::Duration background_quantum = sim::Duration::ms(1);
   std::size_t irq_queue_capacity = 256;
 
+  /// Pre-sizing hints for the simulator's timer-wheel event core. Zero
+  /// means "grow lazily"; experiment drivers set these from the sweep plan
+  /// so deep runs never reallocate queue tables mid-simulation.
+  std::size_t expected_pending_events = 0;
+  sim::Duration sim_horizon_hint = sim::Duration::zero();
+
   [[nodiscard]] sim::Duration tdma_cycle() const;
 
   /// The evaluation setup of Section 6 with one unmonitored source.

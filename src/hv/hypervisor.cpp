@@ -14,6 +14,10 @@ using Reason = Hypervisor::ContextChange::Reason;
 
 Hypervisor::Hypervisor(hw::Platform& platform, const OverheadConfig& overheads)
     : platform_(platform), overheads_(platform.cpu(), platform.memory(), overheads) {
+  line_to_source_.assign(platform_.intc().num_lines(), kInvalidSource);
+  // TimePoint::max() marks "never raised"; service_line falls back to now()
+  // for such lines (e.g. a latch set before start() installed the observer).
+  line_raise_time_.assign(platform_.intc().num_lines(), TimePoint::max());
   health_.set_trace(&trace_.ring());
 }
 
@@ -39,11 +43,10 @@ IrqSourceId Hypervisor::add_irq_source(const IrqSourceConfig& config) {
   assert(config.subscriber < partitions_.size());
   assert(config.c_top.is_positive());
   assert(config.c_bottom.is_positive());
-  assert(line_to_source_.find(config.line) == line_to_source_.end() &&
-         "one source per IRQ line");
+  assert(line_to_source_[config.line] == kInvalidSource && "one source per IRQ line");
   const auto id = static_cast<IrqSourceId>(sources_.size());
   sources_.push_back(Source{config, nullptr, 0});
-  line_to_source_.emplace(config.line, id);
+  line_to_source_[config.line] = id;
   return id;
 }
 
@@ -65,12 +68,11 @@ void Hypervisor::start() {
   platform_.intc().set_irq_entry([this] { irq_entry(); });
   platform_.intc().set_raise_observer([this](hw::IrqLine l) { on_line_raised(l); });
   platform_.intc().set_lost_raise_observer([this](hw::IrqLine l) {
-    const auto it = line_to_source_.find(l);
+    const IrqSourceId sid = line_to_source_[l];
     health_.report(HealthEvent{now(), HealthEventKind::kIrqRaiseLost,
-                               it != line_to_source_.end()
-                                   ? sources_[it->second].config.subscriber
-                                   : kInvalidPartition,
-                               it != line_to_source_.end() ? it->second : UINT32_MAX});
+                               sid != kInvalidSource ? sources_[sid].config.subscriber
+                                                     : kInvalidPartition,
+                               sid});
   });
   current_partition_ = scheduler_->current_owner();
   tdma_timer_->program_at(scheduler_->current_boundary());
@@ -197,39 +199,22 @@ void Hypervisor::irq_entry() {
 
 // --- hypervisor sequences ----------------------------------------------------
 
-void Hypervisor::run_hv_step(hw::WorkCategory category, Duration cost,
-                             std::function<void()> continuation) {
-  assert(hv_busy_);
-  assert(!cost.is_negative());
-  platform_.cpu().retire_duration(category, cost);
-  platform_.simulator().schedule_after(cost, std::move(continuation));
-}
-
-void Hypervisor::context_switch_step(std::function<void()> continuation) {
-  assert(hv_busy_);
-  const auto raw = overheads_.raw_context_switch_cost();
-  platform_.cpu().retire_instructions(hw::WorkCategory::kContextSwitch,
-                                      raw.invalidate_instructions);
-  platform_.cpu().retire_cycles(hw::WorkCategory::kCacheWriteback, raw.writeback_cycles);
-  platform_.simulator().schedule_after(overheads_.context_switch_cost(),
-                                       std::move(continuation));
-}
-
 void Hypervisor::service_line(hw::IrqLine line) {
   platform_.intc().acknowledge(line);
   if (line == tdma_line_) {
     service_tdma_tick();
     return;
   }
-  const IrqSourceId sid = line_to_source_.at(line);
+  const IrqSourceId sid = line_to_source_[line];
+  assert(sid != kInvalidSource && "IRQ on a line without a source");
   Source& src = sources_[sid];
   ++irq_path_stats_.serviced;
 
   IrqEvent ev;
   ev.source = sid;
   ev.seq = src.next_seq++;
-  const auto rt = line_raise_time_.find(line);
-  ev.raise_time = rt != line_raise_time_.end() ? rt->second : now();
+  const TimePoint rt = line_raise_time_[line];
+  ev.raise_time = rt != TimePoint::max() ? rt : now();
   ev.th_start = now();
   ev.arrived_in_own_slot = !interpose_ &&
                            current_partition_ == src.config.subscriber &&

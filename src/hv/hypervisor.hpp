@@ -34,11 +34,12 @@
 // is exactly the bounded interference of Eq. 14.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "hv/health.hpp"
@@ -260,10 +261,27 @@ class Hypervisor {
   void on_line_raised(hw::IrqLine line);
   void irq_entry();
 
-  // Hypervisor sequences (interrupts disabled).
-  void run_hv_step(hw::WorkCategory category, sim::Duration cost,
-                   std::function<void()> continuation);
-  void context_switch_step(std::function<void()> continuation);
+  // Hypervisor sequences (interrupts disabled). Templated so the
+  // continuation lambda forwards straight into its event-queue slot --
+  // routing through std::function here would allocate once per timed step
+  // on the IRQ hot path.
+  template <typename F>
+  void run_hv_step(hw::WorkCategory category, sim::Duration cost, F&& continuation) {
+    assert(hv_busy_);
+    assert(!cost.is_negative());
+    platform_.cpu().retire_duration(category, cost);
+    platform_.simulator().schedule_after(cost, std::forward<F>(continuation));
+  }
+  template <typename F>
+  void context_switch_step(F&& continuation) {
+    assert(hv_busy_);
+    const auto raw = overheads_.raw_context_switch_cost();
+    platform_.cpu().retire_instructions(hw::WorkCategory::kContextSwitch,
+                                        raw.invalidate_instructions);
+    platform_.cpu().retire_cycles(hw::WorkCategory::kCacheWriteback, raw.writeback_cycles);
+    platform_.simulator().schedule_after(overheads_.context_switch_cost(),
+                                         std::forward<F>(continuation));
+  }
   void service_line(hw::IrqLine line);
   void service_tdma_tick();
   void do_slot_switch();
@@ -296,8 +314,14 @@ class Hypervisor {
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::unique_ptr<TdmaScheduler> scheduler_;
   std::vector<Source> sources_;
-  std::unordered_map<hw::IrqLine, IrqSourceId> line_to_source_;
-  std::unordered_map<hw::IrqLine, sim::TimePoint> line_raise_time_;
+  // Per-line tables indexed by IrqLine (the controller has a small fixed
+  // number of lines); kInvalidSource marks lines without a source. The raise
+  // timestamp is valid whenever the line's latch is pending -- the raise
+  // observer runs before any delivery, so service_line always reads a fresh
+  // value for its line.
+  static constexpr IrqSourceId kInvalidSource = UINT32_MAX;
+  std::vector<IrqSourceId> line_to_source_;
+  std::vector<sim::TimePoint> line_raise_time_;
   std::unique_ptr<IpcRouter> ipc_;
   SamplingPortBus ports_;
 

@@ -1,12 +1,22 @@
 #include "hw/interrupt_controller.hpp"
 
-#include <cassert>
-
 namespace rthv::hw {
 
+namespace {
+constexpr std::size_t words_for(std::uint32_t num_lines) {
+  return (static_cast<std::size_t>(num_lines) + 63) / 64;
+}
+}  // namespace
+
 InterruptController::InterruptController(std::uint32_t num_lines)
-    : pending_(num_lines, false), enabled_(num_lines, true), lost_per_line_(num_lines, 0) {
+    : num_lines_(num_lines),
+      pending_(words_for(num_lines), 0),
+      enabled_(words_for(num_lines), 0),
+      lost_per_line_(num_lines, 0) {
   assert(num_lines > 0);
+  // All lines start enabled; per-line set_bit keeps the bits beyond
+  // num_lines clear so highest_pending() never reports a nonexistent line.
+  for (std::uint32_t l = 0; l < num_lines; ++l) set_bit(enabled_, l, true);
 }
 
 std::uint64_t InterruptController::lost_raises(IrqLine line) const {
@@ -16,63 +26,13 @@ std::uint64_t InterruptController::lost_raises(IrqLine line) const {
 
 void InterruptController::enable_line(IrqLine line, bool on) {
   assert(line < num_lines());
-  enabled_[line] = on;
+  set_bit(enabled_, line, on);
   if (on) maybe_deliver();
 }
 
 bool InterruptController::line_enabled(IrqLine line) const {
   assert(line < num_lines());
-  return enabled_[line];
-}
-
-bool InterruptController::raise(IrqLine line) {
-  assert(line < num_lines());
-  ++raises_;
-  if (pending_[line]) {
-    ++lost_raises_;
-    ++lost_per_line_[line];
-    if (lost_raise_observer_) lost_raise_observer_(line);
-    return false;
-  }
-  pending_[line] = true;
-  if (raise_observer_) raise_observer_(line);
-  maybe_deliver();
-  return true;
-}
-
-void InterruptController::acknowledge(IrqLine line) {
-  assert(line < num_lines());
-  pending_[line] = false;
-}
-
-bool InterruptController::pending(IrqLine line) const {
-  assert(line < num_lines());
-  return pending_[line];
-}
-
-std::optional<IrqLine> InterruptController::highest_pending() const {
-  for (IrqLine l = 0; l < num_lines(); ++l) {
-    if (pending_[l] && enabled_[l]) return l;
-  }
-  return std::nullopt;
-}
-
-void InterruptController::set_cpu_irq_enabled(bool on) {
-  cpu_irq_enabled_ = on;
-  if (on) maybe_deliver();
-}
-
-void InterruptController::maybe_deliver() {
-  if (delivering_ || !irq_entry_) return;
-  delivering_ = true;
-  // The entry handler normally disables CPU interrupts and returns (the
-  // hypervisor continues asynchronously); the loop also supports handlers
-  // that re-enable interrupts synchronously and expect back-to-back
-  // delivery of the remaining pending lines.
-  while (cpu_irq_enabled_ && highest_pending().has_value()) {
-    irq_entry_();
-  }
-  delivering_ = false;
+  return bit(enabled_, line);
 }
 
 }  // namespace rthv::hw

@@ -13,6 +13,8 @@
 // partition context.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -34,7 +36,7 @@ class InterruptController {
 
   explicit InterruptController(std::uint32_t num_lines);
 
-  [[nodiscard]] std::uint32_t num_lines() const { return static_cast<std::uint32_t>(enabled_.size()); }
+  [[nodiscard]] std::uint32_t num_lines() const { return num_lines_; }
 
   void set_irq_entry(IrqEntry entry) { irq_entry_ = std::move(entry); }
 
@@ -58,20 +60,56 @@ class InterruptController {
   /// already-pending line is lost, exactly like real IRQ flags (the paper
   /// relies on this: "in most cases IRQ flags are not counting").
   /// Returns false if the raise was lost that way.
-  bool raise(IrqLine line);
+  /// Defined inline: raise/acknowledge/highest_pending sit on the per-IRQ
+  /// hot path of every experiment.
+  bool raise(IrqLine line) {
+    assert(line < num_lines());
+    ++raises_;
+    if (bit(pending_, line)) {
+      ++lost_raises_;
+      ++lost_per_line_[line];
+      if (lost_raise_observer_) lost_raise_observer_(line);
+      return false;
+    }
+    set_bit(pending_, line, true);
+    if (raise_observer_) raise_observer_(line);
+    maybe_deliver();
+    return true;
+  }
 
   /// Clears the pending latch of a line ("resetting the IRQ flag" -- done by
   /// the top handler).
-  void acknowledge(IrqLine line);
+  void acknowledge(IrqLine line) {
+    assert(line < num_lines());
+    set_bit(pending_, line, false);
+  }
 
-  [[nodiscard]] bool pending(IrqLine line) const;
+  [[nodiscard]] bool pending(IrqLine line) const {
+    assert(line < num_lines());
+    return bit(pending_, line);
+  }
 
   /// Highest-priority (lowest-numbered) enabled pending line, if any.
-  [[nodiscard]] std::optional<IrqLine> highest_pending() const;
+  /// Priority resolution is a word-AND plus count-trailing-zeros per 64-line
+  /// word -- O(1) for the common <= 64-line configurations, matching how a
+  /// real VIC priority tree resolves.
+  [[nodiscard]] std::optional<IrqLine> highest_pending() const {
+    for (std::size_t w = 0; w < pending_.size(); ++w) {
+      const std::uint64_t m = pending_[w] & enabled_[w];
+      if (m != 0) {
+        return static_cast<IrqLine>(w * 64 +
+                                    static_cast<std::size_t>(std::countr_zero(m)));
+      }
+    }
+    return std::nullopt;
+  }
 
   /// CPU-side global interrupt enable. Re-enabling triggers delivery if
   /// anything is pending.
-  void set_cpu_irq_enabled(bool on);
+  void set_cpu_irq_enabled(bool on) {
+    cpu_irq_enabled_ = on;
+    if (on) maybe_deliver();
+  }
   [[nodiscard]] bool cpu_irq_enabled() const { return cpu_irq_enabled_; }
 
   /// Total raises observed and raises lost to an already-set latch.
@@ -80,10 +118,37 @@ class InterruptController {
   [[nodiscard]] std::uint64_t lost_raises(IrqLine line) const;
 
  private:
-  void maybe_deliver();
+  void maybe_deliver() {
+    if (delivering_ || !irq_entry_) return;
+    delivering_ = true;
+    // The entry handler normally disables CPU interrupts and returns (the
+    // hypervisor continues asynchronously); the loop also supports handlers
+    // that re-enable interrupts synchronously and expect back-to-back
+    // delivery of the remaining pending lines.
+    while (cpu_irq_enabled_ && highest_pending().has_value()) {
+      irq_entry_();
+    }
+    delivering_ = false;
+  }
 
-  std::vector<bool> pending_;
-  std::vector<bool> enabled_;
+  [[nodiscard]] bool bit(const std::vector<std::uint64_t>& words, IrqLine line) const {
+    return ((words[line >> 6U] >> (line & 63U)) & 1U) != 0;
+  }
+  void set_bit(std::vector<std::uint64_t>& words, IrqLine line, bool on) {
+    const std::uint64_t mask = std::uint64_t{1} << (line & 63U);
+    if (on) {
+      words[line >> 6U] |= mask;
+    } else {
+      words[line >> 6U] &= ~mask;
+    }
+  }
+
+  // Pending/enabled latches as bitmask words: priority resolution is a
+  // word-AND plus count-trailing-zeros instead of a per-line scan, matching
+  // how a real VIC priority tree resolves in O(1).
+  std::uint32_t num_lines_ = 0;
+  std::vector<std::uint64_t> pending_;
+  std::vector<std::uint64_t> enabled_;
   bool cpu_irq_enabled_ = true;
   bool delivering_ = false;  // re-entrancy guard
   IrqEntry irq_entry_;

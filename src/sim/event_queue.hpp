@@ -1,25 +1,71 @@
 // Pending-event set of the discrete-event simulator.
 //
-// A single contiguous indexed binary min-heap ordered by (time, sequence
-// number). The sequence number makes ordering of simultaneous events
-// deterministic (FIFO by scheduling order), which keeps every experiment
-// bit-reproducible.
+// A hierarchical timer wheel (calendar-queue style) replacing the previous
+// single binary min-heap (kept as tests/sim/reference_heap_queue.hpp, the
+// reference model for the differential test):
 //
-// Hot-path properties:
-//  * schedule / pop are O(log n) with no hashing and no per-event heap
-//    allocation: callbacks live inline in a slot table via SmallCallback
-//    (small-buffer optimized, 48-byte capture budget).
-//  * cancel(id) is an O(log n) sift-out through the slot table's heap
-//    back-references -- cancelled entries are reclaimed eagerly, so the
-//    queue's footprint is always proportional to the live event count and
-//    size() is exact by construction (no tombstones to age out).
-//  * EventId is a (slot, generation) pair, so stale ids (already run or
-//    cancelled) are rejected in O(1) without any bookkeeping set.
+//  * Time is quantised into ticks of 2^kGranuleShift ns (1.024 us). Level 0
+//    is a 64-bucket wheel of single-tick buckets covering the next 64 ticks
+//    past the frontier; each higher level covers 64x the span of the one
+//    below (level L buckets span 2^(kBucketBits*L) ticks). With 6 levels the
+//    wheels cover 2^36 ticks = 2^46 ns (~19.5 hours) past the frontier;
+//    events beyond that go to a small far-future binary heap.
+//  * schedule / cancel are O(1): an event links into the tail of exactly one
+//    bucket (a doubly-linked intrusive list through the slot table), and
+//    cancel unlinks it directly -- no sifting.
+//  * pop / dispatch_due are amortised O(1): due events are drained from a
+//    sorted singly-threaded "due list"; when it runs dry, advance() opens
+//    the next occupied bucket (found via per-level 64-bit occupancy bitmaps
+//    and std::countr_zero) and sorts just that bucket's events.
+//
+// Determinism: pop order is strictly (time, sequence) -- identical to the
+// reference heap, bit-for-bit. Buckets are unordered bags; an opened bucket
+// is sorted by the full (time, seq) key before it becomes the due list
+// (time alone would not be enough: a bucket can mix directly-scheduled
+// events, seq-ordered, with far-heap refills, time-ordered). Events
+// scheduled below the frontier (e.g. zero-delay events from a running
+// callback) insert into the sorted due list directly; the walk conditions
+// alone preserve FIFO among equal times because a new event always carries
+// the largest sequence number.
+//
+// Sparse regime: while the wheels and far heap are empty and fewer than
+// kSparseLimit events are pending, schedule() files everything straight
+// into the due list and keeps the frontier past the newest event. A small
+// steady-state pending set (the hypervisor's common case: a handful of
+// timers spaced several granules apart) then never touches the bucket
+// machinery at all -- pops are plain list-head removals, exactly like the
+// empty-queue fast path but for any sub-threshold population.
+//
+// Invariants maintained by advance()/shift_to():
+//  I1  frontier only moves forward, and never past the earliest event still
+//      filed in a wheel bucket or the far heap (due-list events may lie
+//      behind it -- see I2).
+//  I2  every event with time < frontier*granule is in the due list; wheel
+//      and far events all have time >= frontier*granule.
+//  I3  a freshly inserted event never lands in the bucket containing the
+//      frontier at level >= 1 (it would qualify for a lower level first);
+//      when the frontier enters such a bucket's span, shift_to() cascades
+//      it, and the cascade re-inserts strictly below its level -- so
+//      cascades terminate and due extraction only ever opens level 0.
+//  I4  all far-heap events lie beyond the frontier's aligned top-level
+//      window (the XOR-prefix range insert_tick levels by); refill_far()
+//      pulls newly covered events whenever the top-level cursor advances.
+//
+// Slot storage is a bump-pointer arena with freelist reuse: trivially
+// copyable Node records in one flat vector (relocated by memcpy on growth),
+// callbacks in chunked stable storage (SmallCallback, 48-byte inline capture
+// budget) so a running callback's captures never move even if scheduling
+// from inside it grows the tables. No per-event allocation in steady state;
+// EventId keeps the (slot, generation) encoding, so stale ids (already run
+// or cancelled) are rejected in O(1).
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
-#include <cstring>
+#include <limits>
 #include <memory>
 #include <type_traits>
 #include <utility>
@@ -56,52 +102,117 @@ class EventQueue {
  public:
   using Callback = SmallCallback;
 
+  /// Pre-sizing hints, typically derived from the experiment plan so deep
+  /// sweeps never grow tables mid-run.
+  struct Config {
+    /// Expected peak number of concurrently pending events (0 = grow lazily).
+    std::size_t expected_events = 0;
+    /// Expected simulation horizon. The wheels' fixed 2^49 ns span covers
+    /// every experiment in this project; a horizon beyond it pre-sizes the
+    /// far-future heap.
+    Duration horizon = Duration::zero();
+  };
+
+  /// Wheel-internals counters, exported as sim/* metrics by the system layer.
+  struct Stats {
+    std::uint64_t cascades = 0;        // higher-level buckets redistributed
+    std::uint64_t far_pulls = 0;       // events refilled from the far heap
+    std::uint64_t buckets_opened = 0;  // level-0 buckets turned into due lists
+    std::size_t far_heap_size = 0;     // current far-heap population
+    std::size_t far_heap_peak = 0;     // high-water far-heap population
+  };
+
+  EventQueue() = default;
+  explicit EventQueue(const Config& cfg) {
+    if (cfg.expected_events > 0) reserve(cfg.expected_events);
+    if (cfg.horizon.count_ns() > (kSpanTicks << kGranuleShift)) {
+      far_.reserve(kBucketsPerLevel);
+    }
+  }
+
   /// Schedules `fn` to run at absolute time `t`. Events with equal time run
-  /// in scheduling order. The callable is constructed directly in its slot
-  /// (one move out of `fn`, no intermediate Callback).
+  /// in scheduling order. The callable is constructed directly in its arena
+  /// cell (one move out of `fn`, no intermediate Callback).
   template <typename F>
   EventId schedule(TimePoint t, F&& fn) {
     const std::uint32_t s = acquire_slot();
-    Slot& slot = slots_[s];
+    Callback& cb = callback_of(s);
     if constexpr (std::is_same_v<std::remove_cvref_t<F>, Callback>) {
-      slot.callback = std::forward<F>(fn);
+      cb = std::forward<F>(fn);
     } else {
-      slot.callback.emplace(std::forward<F>(fn));
+      cb.emplace(std::forward<F>(fn));
     }
-    if (size_ == heap_cap_) grow_heap(size_ + 1);
-    const std::size_t pos = size_++;
-    heap_[pos] = HeapEntry{t, next_seq_++, s};
-    sift_up(pos);  // final place() records heap_pos
-    return EventId{s, slot.generation};
+    Node& n = nodes_[s];
+    n.time_ns = t.count_ns();
+    n.seq = next_seq_++;
+    const std::uint32_t generation = n.generation;
+    const std::int64_t tick = n.time_ns >> kGranuleShift;
+    if (size_ == 0) {
+      // Empty queue: rebase the frontier past the event and make it the
+      // sole due entry -- no wheel structure is touched, and the following
+      // pop() is a plain list head removal.
+      if (tick >= frontier_tick_) frontier_tick_ = tick + 1;
+      due_insert(s);
+    } else if (tick < frontier_tick_) {
+      // Flood guard: the sparse regime below can leave the frontier far
+      // ahead of a big, growing due list (one distant timer followed by a
+      // stream of earlier events). Once an insert would land anywhere but
+      // the tail of a due list at the population limit, refile the list
+      // into the wheels with the frontier lowered to the new event -- each
+      // later event then files in O(1) instead of walking an ever-longer
+      // list. Pure tail appends (zero-delay scheduling from a draining
+      // bucket, monotone streams) never demote, and after a demotion the
+      // wheels are non-empty, so this cannot thrash.
+      if (size_ >= kSparseLimit && wheels_and_far_empty() &&
+          tick < (nodes_[due_tail_].time_ns >> kGranuleShift)) {
+        demote_due_to_wheel(tick);
+        insert_tick(s, tick);
+      } else {
+        due_insert(s);
+      }
+    } else if (size_ < kSparseLimit && wheels_and_far_empty()) {
+      // Sparse regime: every live event already sits in the due list, so
+      // filing this one there too (and keeping the frontier past it) makes
+      // pops plain list-head removals -- advance()/open_bucket() never run.
+      // A small steady-state pending set with multi-granule spacing is the
+      // hypervisor's common case, and per-bucket machinery would dominate
+      // there; the wheel takes over automatically once the population grows.
+      frontier_tick_ = tick + 1;
+      due_insert(s);
+    } else {
+      insert_tick(s, tick);
+    }
+    ++size_;
+    return EventId{s, generation};
   }
 
   /// Cancels a previously scheduled event. Returns true if the event was
   /// still pending (i.e. it will now never run). The entry and its callback
-  /// are reclaimed immediately.
+  /// are reclaimed immediately -- O(1), no sifting.
   bool cancel(EventId id) {
     if (!id.valid()) return false;
     const std::uint32_t s = id.slot();
-    if (s >= slots_.size()) return false;
-    Slot& slot = slots_[s];
-    if (slot.generation != id.generation()) {
+    if (s >= nodes_.size()) return false;
+    Node& n = nodes_[s];
+    if (n.generation != id.generation()) {
       return false;  // already ran or cancelled (release bumped the generation)
     }
-    remove_heap_entry(slot.heap_pos);
+    unlink_live(s);
     release_slot(s);
+    --size_;
     return true;
   }
 
   /// True if no live events remain.
   [[nodiscard]] bool empty() const { return size_ == 0; }
-
-  // Tracked explicitly: vector::size() on 24-byte elements costs a multiply
-  // on every call, and it sits on the schedule/pop critical path.
   [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Time of the earliest live event. Must not be called on an empty queue.
-  [[nodiscard]] TimePoint next_time() const {
+  /// Non-const: may need to advance the frontier and open a bucket.
+  [[nodiscard]] TimePoint next_time() {
     assert(size_ > 0 && "next_time() on empty EventQueue");
-    return heap_[0].time;
+    if (due_head_ == kNpos) advance();
+    return TimePoint::at_ns(nodes_[due_head_].time_ns);
   }
 
   /// Removes and returns the earliest live event. Must not be called on an
@@ -112,135 +223,551 @@ class EventQueue {
   };
   Popped pop() {
     assert(size_ > 0 && "pop() on empty EventQueue");
-    const HeapEntry top = heap_[0];
-    Popped out{top.time, std::move(slots_[top.slot].callback)};
-    remove_heap_entry(0);
-    release_slot(top.slot);
+    if (due_head_ == kNpos) advance();
+    const std::uint32_t s = due_head_;
+    Node& n = nodes_[s];
+    due_head_ = n.next;
+    if (due_head_ != kNpos) {
+      nodes_[due_head_].prev = kNpos;
+    } else {
+      due_tail_ = kNpos;
+    }
+    Popped out{TimePoint::at_ns(n.time_ns), std::move(callback_of(s))};
+    release_slot(s);
+    --size_;
     return out;
   }
 
-  /// Pre-sizes the heap and slot table for `n` concurrently pending events.
+  /// Batched dispatch: runs up to `budget` due callbacks with time <=
+  /// `horizon`, invoking `on_event(time)` immediately before each callback
+  /// (the simulator advances its clock there). Callbacks run in place in
+  /// the arena -- no per-event move out of the queue -- and may freely
+  /// schedule or cancel; a callback cancelling its own id gets `false`,
+  /// exactly like the pop() path. Returns the number of events dispatched;
+  /// fewer than `budget` means the queue drained or the next event lies
+  /// beyond `horizon`.
+  template <typename Fn>
+  std::uint64_t dispatch_due(TimePoint horizon, std::uint64_t budget, Fn&& on_event) {
+    const std::int64_t h = horizon.count_ns();
+    std::uint64_t dispatched = 0;
+    while (dispatched < budget && size_ > 0) {
+      if (due_head_ == kNpos) advance();
+      const std::uint32_t s = due_head_;
+      {
+        Node& n = nodes_[s];
+        if (n.time_ns > h) break;
+        due_head_ = n.next;
+        if (due_head_ != kNpos) {
+          nodes_[due_head_].prev = kNpos;
+        } else {
+          due_tail_ = kNpos;
+        }
+        --size_;
+        // Invalidate the id before the callback runs (cancel-own-id returns
+        // false, matching pop()), but keep the slot off the freelist until
+        // after it returns so inner schedules cannot reuse the cell whose
+        // captures are executing.
+        if (++n.generation == 0) n.generation = 1;
+        n.state = NodeState::kFree;
+        on_event(TimePoint::at_ns(n.time_ns));
+      }
+      ++dispatched;
+      Callback& cb = callback_of(s);
+      cb();
+      cb.reset();
+      // Re-index: the callback may have grown the node table.
+      nodes_[s].next = free_head_;
+      free_head_ = s;
+    }
+    return dispatched;
+  }
+
+  /// Pre-sizes the slot arena for `n` concurrently pending events.
   void reserve(std::size_t n) {
-    if (n > heap_cap_) grow_heap(n);
-    slots_.reserve(n);
+    nodes_.reserve(n);
+    const std::size_t chunks = (n + kArenaChunkSize - 1) >> kArenaChunkShift;
+    arena_.reserve(chunks);
+    while (arena_.size() < chunks) {
+      arena_.push_back(std::make_unique<Callback[]>(kArenaChunkSize));
+    }
+    scratch_.reserve(std::min<std::size_t>(n, kScratchReserveCap));
   }
 
   /// Slot-table footprint: high-water mark of concurrently pending events.
   /// Exposed so tests can assert that cancellation reclaims eagerly and the
   /// bookkeeping stays proportional to the peak live count, not the total
   /// number of events ever scheduled.
-  [[nodiscard]] std::size_t allocated_slots() const { return slots_.size(); }
+  [[nodiscard]] std::size_t allocated_slots() const { return nodes_.size(); }
+
+  [[nodiscard]] Stats stats() const {
+    return Stats{cascades_, far_pulls_, buckets_opened_, far_.size(), far_peak_};
+  }
 
  private:
   static constexpr std::uint32_t kNpos = 0xffff'ffffU;
 
-  // Trivially copyable; sift operations move these, never the callbacks.
-  struct HeapEntry {
-    TimePoint time;
+  // Wheel geometry. Granule 2^13 ns = 8.192 us -- coarse enough that the
+  // hypervisor's microsecond-spaced events land at level 0 (no cascades on
+  // the steady-state path), fine enough that a due bucket stays small under
+  // dense storms; 6 levels of 64 buckets: level L buckets span 2^(6L)
+  // ticks, the whole wheel spans 2^36 ticks (2^49 ns, ~6.5 days).
+  static constexpr unsigned kGranuleShift = 13;
+  static constexpr unsigned kBucketBits = 6;
+  static constexpr int kLevels = 6;
+  static constexpr std::size_t kBucketsPerLevel = std::size_t{1} << kBucketBits;
+  static constexpr std::uint64_t kBucketMask = kBucketsPerLevel - 1;
+  static constexpr unsigned kTopShift = kBucketBits * (kLevels - 1);
+  static constexpr std::int64_t kSpanTicks = std::int64_t{1} << (kBucketBits * kLevels);
+
+  /// Below this population (with empty wheels) scheduling bypasses the
+  /// wheel entirely; bounds the due-list insertion walk.
+  static constexpr std::size_t kSparseLimit = 32;
+
+  static constexpr std::size_t kArenaChunkShift = 10;  // 1024 callbacks per chunk
+  static constexpr std::size_t kArenaChunkSize = std::size_t{1} << kArenaChunkShift;
+  static constexpr std::size_t kScratchReserveCap = 4096;
+
+  enum class NodeState : std::uint8_t { kFree = 0, kWheel, kDue, kFar };
+
+  // Trivially copyable (the node vector relocates by memcpy); the callback
+  // lives in the stable arena, never here. `next` doubles as the freelist
+  // link while the slot is free.
+  struct Node {
+    std::int64_t time_ns;
+    std::uint64_t seq;
+    std::uint32_t generation;
+    std::uint32_t prev;
+    std::uint32_t next;
+    std::uint32_t far_pos;  // back-reference into far_ while state == kFar
+    std::uint16_t bucket;   // level * 64 + index while state == kWheel
+    NodeState state;
+  };
+  static_assert(std::is_trivially_copyable_v<Node>);
+
+  struct Bucket {
+    std::uint32_t head = kNpos;
+    std::uint32_t tail = kNpos;
+  };
+
+  struct FarEntry {
+    std::int64_t time_ns;
     std::uint64_t seq;
     std::uint32_t slot;
   };
 
-  struct Slot {
-    Callback callback;
-    std::uint32_t generation = 1;
-    std::uint32_t heap_pos = kNpos;  // valid whenever the slot is live
-    std::uint32_t next_free = kNpos;
+  // Sort key snapshot for an opened bucket; sorting these flat 24-byte
+  // records beats an indirect sort through the node table.
+  struct DueKey {
+    std::int64_t time_ns;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
 
-  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
-    if (a.time != b.time) return a.time < b.time;
-    return a.seq < b.seq;
-  }
-
-  void place(std::size_t pos, const HeapEntry& e) {
-    heap_[pos] = e;
-    slots_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
-  }
-
-  // The hot helpers live in the header so schedule/pop/cancel inline fully
-  // into the simulator loop; sifts move only the 24-byte HeapEntry through
-  // a hole, writing each displaced entry (and its back-reference) once.
-  void sift_up(std::size_t pos) {
-    const HeapEntry moving = heap_[pos];
-    while (pos > 0) {
-      const std::size_t parent = (pos - 1) / 2;
-      if (!entry_before(moving, heap_[parent])) break;
-      place(pos, heap_[parent]);
-      pos = parent;
-    }
-    place(pos, moving);
-  }
-
-  void sift_down(std::size_t pos) {
-    const HeapEntry moving = heap_[pos];
-    const std::size_t n = size_;
-    while (true) {
-      std::size_t child = 2 * pos + 1;
-      if (child >= n) break;
-      if (child + 1 < n && entry_before(heap_[child + 1], heap_[child])) ++child;
-      if (!entry_before(heap_[child], moving)) break;
-      place(pos, heap_[child]);
-      pos = child;
-    }
-    place(pos, moving);
-  }
-
-  /// Removes heap_[pos], restoring the heap invariant (swap-with-last).
-  void remove_heap_entry(std::size_t pos) {
-    const std::size_t last = --size_;
-    if (pos == last) return;
-    const HeapEntry displaced = heap_[last];
-    place(pos, displaced);
-    if (pos > 0 && entry_before(displaced, heap_[(pos - 1) / 2])) {
-      sift_up(pos);
-    } else {
-      sift_down(pos);
-    }
+  [[nodiscard]] Callback& callback_of(std::uint32_t s) {
+    return arena_[s >> kArenaChunkShift][s & (kArenaChunkSize - 1)];
   }
 
   std::uint32_t acquire_slot() {
     if (free_head_ != kNpos) {
       const std::uint32_t s = free_head_;
-      free_head_ = slots_[s].next_free;
+      free_head_ = nodes_[s].next;
       return s;
     }
-    assert(slots_.size() < kNpos && "EventQueue slot table full");
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
+    const std::size_t s = nodes_.size();
+    assert(s < kNpos && "EventQueue slot table full");
+    if ((s >> kArenaChunkShift) == arena_.size()) {
+      arena_.push_back(std::make_unique<Callback[]>(kArenaChunkSize));
+    }
+    nodes_.push_back(Node{0, 0, 1, kNpos, kNpos, kNpos, 0, NodeState::kFree});
+    return static_cast<std::uint32_t>(s);
   }
 
-  // The generation bump alone is what invalidates outstanding EventIds, so
-  // a released slot's heap_pos can stay stale: cancel() only reads it after
-  // the generation check passes, which implies the slot is live.
+  // The generation bump alone is what invalidates outstanding EventIds; a
+  // released slot's links can stay stale because cancel() only reads them
+  // after the generation check passes, which implies the slot is live.
   void release_slot(std::uint32_t s) {
-    Slot& slot = slots_[s];
-    slot.callback.reset();
-    if (++slot.generation == 0) slot.generation = 1;  // keep ids nonzero on wrap
-    slot.next_free = free_head_;
+    Node& n = nodes_[s];
+    callback_of(s).reset();
+    if (++n.generation == 0) n.generation = 1;  // keep ids nonzero on wrap
+    n.state = NodeState::kFree;
+    n.next = free_head_;
     free_head_ = s;
   }
 
-  // Grows the entry buffer (cold path; entries are trivially copyable).
-  void grow_heap(std::size_t min_cap) {
-    std::size_t cap = heap_cap_ == 0 ? 64 : heap_cap_ * 2;
-    if (cap < min_cap) cap = min_cap;
-    // rthv-lint: allow(no-hot-alloc) -- amortized doubling, cold path
-    std::unique_ptr<HeapEntry[]> bigger(new HeapEntry[cap]);
-    if (size_ > 0) std::memcpy(bigger.get(), heap_.get(), size_ * sizeof(HeapEntry));
-    heap_ = std::move(bigger);
-    heap_cap_ = cap;
+  // -- insertion ----------------------------------------------------------
+
+  // Level from the highest bit where tick and frontier differ: d differing
+  // bits -> level ceil((d - 6) / 6) (i.e. (d-1)/6 clamped at 0). The chosen
+  // bucket position shares all bits above 6*(level+1) with the frontier
+  // cursor, so it lies in the cursor's 64-bucket window, and for level >= 1
+  // it differs from the cursor itself (invariant I3). Events in a cursor
+  // bucket share that bucket's span with the frontier (d <= 6*level), so a
+  // cascade re-insert always lands strictly below its level.
+  static constexpr std::array<std::uint8_t, 65> kLevelForXorBits = [] {
+    std::array<std::uint8_t, 65> t{};
+    for (int d = 0; d <= 64; ++d) {
+      t[static_cast<std::size_t>(d)] =
+          static_cast<std::uint8_t>(d <= 6 ? 0 : (d - 1) / 6);
+    }
+    return t;
+  }();
+
+  /// Files a live node under `tick` (>= frontier) into a wheel bucket, or
+  /// the far heap when the tick lies beyond the top level's window.
+  void insert_tick(std::uint32_t s, std::int64_t tick) {
+    assert(tick >= frontier_tick_);
+    const auto d = static_cast<std::size_t>(
+        std::bit_width(static_cast<std::uint64_t>(tick ^ frontier_tick_)));
+    const int level = kLevelForXorBits[d];
+    if (level >= kLevels) {
+      far_push(s);
+      return;
+    }
+    link_bucket(s, level, tick >> (kBucketBits * static_cast<unsigned>(level)));
   }
 
-  // The entry heap is a raw trivially-copyable buffer rather than a
-  // std::vector: push/pop stay fully inline (no out-of-line emplace_back)
-  // and the live count lives next to the other hot fields.
-  std::unique_ptr<HeapEntry[]> heap_;
-  std::size_t heap_cap_ = 0;
-  std::size_t size_ = 0;
-  std::vector<Slot> slots_;
+  void link_bucket(std::uint32_t s, int level, std::int64_t pos) {
+    const unsigned idx = static_cast<unsigned>(pos) & kBucketMask;
+    const std::size_t bid = static_cast<std::size_t>(level) * kBucketsPerLevel + idx;
+    Bucket& b = wheel_[bid];
+    Node& n = nodes_[s];
+    n.state = NodeState::kWheel;
+    n.bucket = static_cast<std::uint16_t>(bid);
+    n.prev = b.tail;
+    n.next = kNpos;
+    if (b.tail == kNpos) {
+      b.head = s;
+      occ_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << idx;
+    } else {
+      nodes_[b.tail].next = s;
+    }
+    b.tail = s;
+  }
+
+  [[nodiscard]] bool wheels_and_far_empty() const {
+    return (occ_[0] | occ_[1] | occ_[2] | occ_[3] | occ_[4] | occ_[5]) == 0 &&
+           far_.empty();
+  }
+
+  /// Inserts a node into the sorted due list. FIFO among equal times falls
+  /// out of the walk conditions alone: the new event carries the largest
+  /// sequence number, so it must land after every equal-time entry, which
+  /// both directions guarantee. The ends are checked first (append at the
+  /// tail is the dominant case); an interior insert walks from whichever
+  /// end is closer in time -- in the sparse regime the pending set mixes
+  /// near deadlines with far timers, and a short-delay insert from the tail
+  /// would traverse everything.
+  void due_insert(std::uint32_t s) {
+    Node& n = nodes_[s];
+    n.state = NodeState::kDue;
+    if (due_head_ == kNpos) {
+      n.prev = n.next = kNpos;
+      due_head_ = due_tail_ = s;
+      return;
+    }
+    const std::int64_t t = n.time_ns;
+    const std::int64_t head_t = nodes_[due_head_].time_ns;
+    const std::int64_t tail_t = nodes_[due_tail_].time_ns;
+    if (tail_t <= t) {  // append after the tail (covers equal times)
+      n.prev = due_tail_;
+      n.next = kNpos;
+      nodes_[due_tail_].next = s;
+      due_tail_ = s;
+      return;
+    }
+    if (t < head_t) {  // new minimum: push front
+      n.prev = kNpos;
+      n.next = due_head_;
+      nodes_[due_head_].prev = s;
+      due_head_ = s;
+      return;
+    }
+    if (t - head_t <= tail_t - t) {
+      // Forward from the head: first entry with time > t goes after us.
+      std::uint32_t before = nodes_[due_head_].next;
+      while (nodes_[before].time_ns <= t) before = nodes_[before].next;
+      n.next = before;
+      n.prev = nodes_[before].prev;
+      nodes_[n.prev].next = s;
+      nodes_[before].prev = s;
+    } else {
+      // Backward from the tail: last entry with time <= t goes before us.
+      std::uint32_t after = nodes_[due_tail_].prev;
+      while (nodes_[after].time_ns > t) after = nodes_[after].prev;
+      n.prev = after;
+      n.next = nodes_[after].next;
+      nodes_[after].next = s;
+      nodes_[n.next].prev = s;
+    }
+  }
+
+  /// Lowers the frontier to `tick` and refiles every due event at or beyond
+  /// it into the wheels (legal because the wheels and far heap are empty:
+  /// the frontier is unconstrained by I1). Events still below `tick` stay
+  /// due; iterating the sorted list keeps their relative order and re-adds
+  /// them by O(1) tail appends.
+  void demote_due_to_wheel(std::int64_t tick) {
+    assert(wheels_and_far_empty());
+    frontier_tick_ = tick;
+    std::uint32_t s = due_head_;
+    due_head_ = due_tail_ = kNpos;
+    while (s != kNpos) {
+      const std::uint32_t next = nodes_[s].next;
+      const std::int64_t t = nodes_[s].time_ns >> kGranuleShift;
+      if (t < frontier_tick_) {
+        due_insert(s);
+      } else {
+        insert_tick(s, t);
+      }
+      s = next;
+    }
+  }
+
+  void unlink_live(std::uint32_t s) {
+    Node& n = nodes_[s];
+    switch (n.state) {
+      case NodeState::kWheel: {
+        Bucket& b = wheel_[n.bucket];
+        if (n.prev != kNpos) nodes_[n.prev].next = n.next; else b.head = n.next;
+        if (n.next != kNpos) nodes_[n.next].prev = n.prev; else b.tail = n.prev;
+        if (b.head == kNpos) {
+          occ_[n.bucket >> kBucketBits] &= ~(std::uint64_t{1} << (n.bucket & kBucketMask));
+        }
+        break;
+      }
+      case NodeState::kDue: {
+        if (n.prev != kNpos) nodes_[n.prev].next = n.next; else due_head_ = n.next;
+        if (n.next != kNpos) nodes_[n.next].prev = n.prev; else due_tail_ = n.prev;
+        break;
+      }
+      case NodeState::kFar:
+        far_remove(n.far_pos);
+        break;
+      case NodeState::kFree:
+        assert(false && "unlink_live() on a free slot");
+        break;
+    }
+  }
+
+  // -- frontier advance ---------------------------------------------------
+
+  /// Refills the due list from the earliest occupied bucket. Called only
+  /// when the due list is empty and size_ > 0.
+  void advance() {
+    assert(due_head_ == kNpos && size_ > 0);
+    for (;;) {
+      if ((occ_[0] | occ_[1] | occ_[2] | occ_[3] | occ_[4] | occ_[5]) == 0) {
+        // All wheels empty: every live event is in the far heap. Rebase the
+        // frontier directly onto its minimum instead of stepping the top
+        // cursor through the gap (I1 holds: nothing lives in between).
+        assert(!far_.empty());
+        frontier_tick_ = far_[0].time_ns >> kGranuleShift;
+        refill_far();
+        continue;  // the far minimum itself landed at level 0
+      }
+      // Earliest occupied level-0 tick in [frontier, frontier + 64).
+      std::int64_t candidate = std::numeric_limits<std::int64_t>::max();
+      if (occ_[0] != 0) {
+        const int r = static_cast<int>(static_cast<std::uint64_t>(frontier_tick_) & kBucketMask);
+        candidate = frontier_tick_ + std::countr_zero(std::rotr(occ_[0], r));
+      }
+      // Earliest tick still hidden inside a higher-level bucket or behind
+      // the next far-heap refill boundary.
+      std::int64_t hidden = std::numeric_limits<std::int64_t>::max();
+      for (int level = 1; level < kLevels; ++level) {
+        if (occ_[static_cast<std::size_t>(level)] == 0) continue;
+        const unsigned shift = kBucketBits * static_cast<unsigned>(level);
+        const std::int64_t c = frontier_tick_ >> shift;
+        const int r = static_cast<int>(static_cast<std::uint64_t>(c) & kBucketMask);
+        const std::int64_t p =
+            c + std::countr_zero(std::rotr(occ_[static_cast<std::size_t>(level)], r));
+        hidden = std::min(hidden, p << shift);
+      }
+      if (!far_.empty()) {
+        hidden = std::min(hidden, ((frontier_tick_ >> kTopShift) + 1) << kTopShift);
+      }
+      if (candidate < hidden) {
+        open_bucket(candidate);
+        return;
+      }
+      shift_to(hidden);
+    }
+  }
+
+  /// Turns the level-0 bucket at `tick` into the due list (sorted by the
+  /// full (time, seq) key) and moves the frontier past it.
+  void open_bucket(std::int64_t tick) {
+    const unsigned idx = static_cast<unsigned>(tick) & kBucketMask;
+    Bucket& b = wheel_[idx];
+    if (b.head == b.tail) {  // single event: already sorted, skip scratch
+      const std::uint32_t s = b.head;
+      b.head = b.tail = kNpos;
+      occ_[0] &= ~(std::uint64_t{1} << idx);
+      Node& n = nodes_[s];
+      n.state = NodeState::kDue;
+      n.prev = n.next = kNpos;
+      due_head_ = due_tail_ = s;
+      frontier_tick_ = tick + 1;
+      ++buckets_opened_;
+      return;
+    }
+    scratch_.clear();
+    for (std::uint32_t s = b.head; s != kNpos; s = nodes_[s].next) {
+      scratch_.push_back(DueKey{nodes_[s].time_ns, nodes_[s].seq, s});
+    }
+    b.head = b.tail = kNpos;
+    occ_[0] &= ~(std::uint64_t{1} << idx);
+    if (scratch_.size() > 1) {
+      std::sort(scratch_.begin(), scratch_.end(), [](const DueKey& x, const DueKey& y) {
+        if (x.time_ns != y.time_ns) return x.time_ns < y.time_ns;
+        return x.seq < y.seq;
+      });
+    }
+    std::uint32_t prev = kNpos;
+    for (const DueKey& k : scratch_) {
+      Node& n = nodes_[k.slot];
+      n.state = NodeState::kDue;
+      n.prev = prev;
+      n.next = kNpos;
+      if (prev == kNpos) due_head_ = k.slot; else nodes_[prev].next = k.slot;
+      prev = k.slot;
+    }
+    due_tail_ = prev;
+    frontier_tick_ = tick + 1;
+    ++buckets_opened_;
+  }
+
+  /// Moves the frontier to `tick` (the start of the earliest hidden bucket)
+  /// and restores I3/I4: refill the far heap if the top-level cursor moved,
+  /// then cascade each level's cursor bucket top-down. Cascade re-insertion
+  /// lands strictly below its level (the cursor shares the bucket's span,
+  /// so the delta fits one level down), hence terminates.
+  void shift_to(std::int64_t tick) {
+    const std::int64_t old_top = frontier_tick_ >> kTopShift;
+    frontier_tick_ = tick;
+    if (!far_.empty() && (tick >> kTopShift) != old_top) refill_far();
+    for (int level = kLevels - 1; level >= 1; --level) {
+      const std::int64_t c = frontier_tick_ >> (kBucketBits * static_cast<unsigned>(level));
+      cascade_bucket(level, static_cast<unsigned>(c) & kBucketMask);
+    }
+  }
+
+  void cascade_bucket(int level, unsigned idx) {
+    const std::size_t bid = static_cast<std::size_t>(level) * kBucketsPerLevel + idx;
+    Bucket& b = wheel_[bid];
+    std::uint32_t s = b.head;
+    if (s == kNpos) return;
+    b.head = b.tail = kNpos;
+    occ_[static_cast<std::size_t>(level)] &= ~(std::uint64_t{1} << idx);
+    while (s != kNpos) {
+      const std::uint32_t next = nodes_[s].next;
+      insert_tick(s, nodes_[s].time_ns >> kGranuleShift);
+      s = next;
+    }
+    ++cascades_;
+  }
+
+  /// Pulls every far-heap event whose tick now falls inside the wheel
+  /// horizon (I4). The test must be the same XOR-prefix window insert_tick
+  /// levels by -- an arithmetic "within 64 top-level buckets" check would
+  /// pull events across an aligned window boundary that insert_tick files
+  /// right back into the far heap, and the pull/push cycle never ends. The
+  /// break is sound because the heap is time-ordered and the window is an
+  /// aligned prefix range: once the minimum lies beyond it, everything does.
+  void refill_far() {
+    while (!far_.empty()) {
+      const std::int64_t tick = far_[0].time_ns >> kGranuleShift;
+      const auto d = static_cast<std::size_t>(
+          std::bit_width(static_cast<std::uint64_t>(tick ^ frontier_tick_)));
+      if (kLevelForXorBits[d] >= kLevels) break;
+      const std::uint32_t s = far_[0].slot;
+      far_remove(0);
+      insert_tick(s, tick);
+      ++far_pulls_;
+    }
+  }
+
+  // -- far-future heap (indexed binary min-heap, like the old full queue) --
+
+  static bool far_before(const FarEntry& a, const FarEntry& b) {
+    if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+    return a.seq < b.seq;
+  }
+
+  void far_place(std::size_t pos, const FarEntry& e) {
+    far_[pos] = e;
+    nodes_[e.slot].far_pos = static_cast<std::uint32_t>(pos);
+  }
+
+  void far_sift_up(std::size_t pos) {
+    const FarEntry moving = far_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 2;
+      if (!far_before(moving, far_[parent])) break;
+      far_place(pos, far_[parent]);
+      pos = parent;
+    }
+    far_place(pos, moving);
+  }
+
+  void far_sift_down(std::size_t pos) {
+    const FarEntry moving = far_[pos];
+    const std::size_t n = far_.size();
+    while (true) {
+      std::size_t child = 2 * pos + 1;
+      if (child >= n) break;
+      if (child + 1 < n && far_before(far_[child + 1], far_[child])) ++child;
+      if (!far_before(far_[child], moving)) break;
+      far_place(pos, far_[child]);
+      pos = child;
+    }
+    far_place(pos, moving);
+  }
+
+  void far_push(std::uint32_t s) {
+    Node& n = nodes_[s];
+    n.state = NodeState::kFar;
+    far_.push_back(FarEntry{n.time_ns, n.seq, s});
+    far_sift_up(far_.size() - 1);
+    if (far_.size() > far_peak_) far_peak_ = far_.size();
+  }
+
+  void far_remove(std::size_t pos) {
+    const std::size_t last = far_.size() - 1;
+    if (pos == last) {
+      far_.pop_back();
+      return;
+    }
+    const FarEntry displaced = far_[last];
+    far_.pop_back();
+    far_place(pos, displaced);
+    if (pos > 0 && far_before(displaced, far_[(pos - 1) / 2])) {
+      far_sift_up(pos);
+    } else {
+      far_sift_down(pos);
+    }
+  }
+
+  // -- state --------------------------------------------------------------
+
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<Callback[]>> arena_;  // stable chunked callback cells
+  std::array<Bucket, static_cast<std::size_t>(kLevels) * kBucketsPerLevel> wheel_{};
+  std::array<std::uint64_t, kLevels> occ_{};  // bit i of occ_[L]: bucket (pos & 63) nonempty
+  std::vector<FarEntry> far_;
+  std::vector<DueKey> scratch_;  // reused sort buffer for open_bucket
+
+  std::int64_t frontier_tick_ = 0;
+  std::uint32_t due_head_ = kNpos;
+  std::uint32_t due_tail_ = kNpos;
   std::uint32_t free_head_ = kNpos;
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+
+  std::uint64_t cascades_ = 0;
+  std::uint64_t far_pulls_ = 0;
+  std::uint64_t buckets_opened_ = 0;
+  std::size_t far_peak_ = 0;
 };
 
 }  // namespace rthv::sim

@@ -6,13 +6,22 @@
 namespace rthv::sim {
 
 std::uint64_t Simulator::run_until(TimePoint horizon) {
+  // Batched dispatch: the queue drains whole due buckets in place, so the
+  // loop below touches the comparator only when a bucket is opened -- the
+  // per-event cost is an O(1) list pop plus the callback itself. The outer
+  // loop exists solely to re-check the event limit between batches.
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= horizon && !event_limit_reached()) {
-    auto [time, cb] = queue_.pop();
-    now_ = time;
-    ++executed_;
-    ++n;
-    cb();
+  for (;;) {
+    std::uint64_t budget = UINT64_MAX;
+    if (event_limit_ != 0) {
+      if (executed_ >= event_limit_) break;
+      budget = event_limit_ - executed_;
+    }
+    const std::uint64_t ran =
+        queue_.dispatch_due(horizon, budget, [this](TimePoint t) { now_ = t; });
+    executed_ += ran;
+    n += ran;
+    if (ran < budget) break;  // queue drained or next event beyond horizon
   }
   // Do not jump the clock when the event limit cut the run short.
   if (horizon != TimePoint::max() && now_ < horizon && !event_limit_reached()) {
@@ -23,10 +32,10 @@ std::uint64_t Simulator::run_until(TimePoint horizon) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [time, cb] = queue_.pop();
-  now_ = time;
+  // Budget-1 dispatch: the callback runs in place in the queue's arena, so
+  // stepping avoids the move-out-of-the-slot that pop() pays.
+  queue_.dispatch_due(TimePoint::max(), 1, [this](TimePoint t) { now_ = t; });
   ++executed_;
-  cb();
   return true;
 }
 

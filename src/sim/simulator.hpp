@@ -17,6 +17,12 @@ namespace rthv::sim {
 
 class Simulator {
  public:
+  Simulator() = default;
+
+  /// Pre-sizes the event queue from an experiment plan (expected pending
+  /// events, simulation horizon) so sweeps never grow tables mid-run.
+  explicit Simulator(const EventQueue::Config& cfg) : queue_(cfg) {}
+
   /// Current simulated time.
   [[nodiscard]] TimePoint now() const { return now_; }
 
@@ -61,6 +67,9 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Timer-wheel internals (cascades, far-heap population) for metrics.
+  [[nodiscard]] EventQueue::Stats queue_stats() const { return queue_.stats(); }
 
  private:
   EventQueue queue_;

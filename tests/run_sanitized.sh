@@ -34,6 +34,11 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 echo "== ASan + UBSan: fault-injection campaigns (ctest -L fault) =="
 ctest --test-dir build-asan --output-on-failure -L fault -j "$jobs"
 
+# Short benchmark runs under ASan/UBSan: the timer wheel's arena and bucket
+# links get exercised at benchmark-sized populations no unit test reaches.
+echo "== ASan + UBSan: perf smoke (ctest -L perf-smoke) =="
+ctest --test-dir build-asan --output-on-failure -L perf-smoke -j "$jobs"
+
 if [[ "$run_tsan" == 1 ]]; then
   echo "== TSan build (full suite) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DRTHV_TSAN=ON

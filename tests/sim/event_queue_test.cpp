@@ -147,6 +147,133 @@ TEST(EventQueueTest, EqualTimeFifoSurvivesInterleavedCancels) {
   EXPECT_EQ(order.size(), 200u - cancelled.size());
 }
 
+// Wheel-era regression: a million events cycled through every storage tier
+// (due list, all wheel levels, far heap) with interleaved pops and cancels
+// must keep the slot table bounded by the live peak -- reclamation has to
+// work identically whether a slot dies in a bucket, the due list, or the
+// far heap.
+TEST(EventQueueTest, MillionEventReclamationAcrossHorizons) {
+  constexpr std::size_t kRounds = 500;
+  constexpr std::size_t kBatch = 2000;
+  // Deltas per index class: sub-granule, level-0/1, mid-level, far-future
+  // (the wheels span ~2^49 ns; 6e14 ns lies beyond them).
+  constexpr std::int64_t kDeltas[4] = {1'000, 10'000'000, 1'000'000'000'000,
+                                       600'000'000'000'000};
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(kBatch);
+  std::int64_t now = 0;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const std::int64_t t = now + kDeltas[i % 4] + static_cast<std::int64_t>(i);
+      ids.push_back(q.schedule(TimePoint::at_ns(t), [] {}));
+    }
+    ASSERT_EQ(q.size(), kBatch);
+    // Cancel one class in place (a quarter of the batch dies unreaped) and
+    // pop the rest in order, so every surviving storage tier -- due list,
+    // cascading mid levels, far heap -- is drained through advance().
+    for (std::size_t i = 1; i < ids.size(); i += 4) ASSERT_TRUE(q.cancel(ids[i]));
+    TimePoint last = TimePoint::at_ns(now);
+    for (std::size_t i = 0; i < kBatch - kBatch / 4; ++i) {
+      auto p = q.pop();
+      ASSERT_GE(p.time, last);
+      last = p.time;
+    }
+    ASSERT_TRUE(q.empty());
+    now = last.count_ns();
+    ids.clear();
+  }
+  EXPECT_LE(q.allocated_slots(), kBatch);
+  const auto stats = q.stats();
+  EXPECT_GT(stats.cascades, 0u);       // mid-level events cascaded down
+  EXPECT_GT(stats.far_pulls, 0u);      // far events were refilled into wheels
+  EXPECT_GT(stats.buckets_opened, 0u);
+  EXPECT_EQ(stats.far_heap_size, 0u);  // fully drained
+  EXPECT_GT(stats.far_heap_peak, 0u);
+}
+
+// Cancelling inside the far heap must reclaim eagerly and keep the heap's
+// back-references intact; the stats gauges expose the population.
+TEST(EventQueueTest, FarHeapCancelReclaimsEagerly) {
+  EventQueue q;
+  // Occupy the wheel first so the far events take the insert_tick path
+  // (a sub-threshold pending set would park them in the sparse due list).
+  std::vector<EventId> near;
+  for (int i = 0; i < 40; ++i) {
+    near.push_back(q.schedule(TimePoint::at_us(10 + i), [] {}));
+  }
+  std::vector<EventId> far;
+  for (int i = 0; i < 100; ++i) {
+    // Each beyond the wheels' span, spaced wider than the top-level window
+    // so every refill pulls exactly one event.
+    far.push_back(q.schedule(
+        TimePoint::at_ns(600'000'000'000'000 +
+                         static_cast<std::int64_t>(i) * 1'000'000'000'000'000),
+        [] {}));
+  }
+  EXPECT_EQ(q.stats().far_heap_size, 100u);
+  EXPECT_GE(q.stats().far_heap_peak, 100u);
+  for (std::size_t i = 0; i < far.size(); i += 2) ASSERT_TRUE(q.cancel(far[i]));
+  EXPECT_EQ(q.stats().far_heap_size, 50u);
+  // Drain everything; order must stay nondecreasing across the near/far gap.
+  TimePoint last = TimePoint::origin();
+  std::size_t drained = 0;
+  while (!q.empty()) {
+    auto p = q.pop();
+    EXPECT_GE(p.time, last);
+    last = p.time;
+    ++drained;
+  }
+  EXPECT_EQ(drained, 40u + 50u);
+  EXPECT_EQ(q.stats().far_heap_size, 0u);
+  EXPECT_EQ(q.stats().far_pulls, 50u);  // spacing exceeds the top-level window
+}
+
+// Pre-sizing via Config must make the arena big enough that a burst up to
+// the hint never grows the slot table afterwards.
+TEST(EventQueueTest, ConfigPreSizesSlotArena) {
+  EventQueue::Config cfg;
+  cfg.expected_events = 4096;
+  cfg.horizon = Duration::s(7 * 24 * 3600);  // a week: beyond the wheel span
+  EventQueue q(cfg);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(q.schedule(TimePoint::at_us(i), [] {}));
+  }
+  EXPECT_EQ(q.size(), 4096u);
+  while (!q.empty()) q.pop();
+  EXPECT_LE(q.allocated_slots(), 4096u);
+}
+
+// Flood guard: one distant timer parks the frontier far ahead (sparse
+// regime), then a dense burst of earlier events arrives. The burst must be
+// absorbed by the wheels (demotion), not degrade into quadratic due-list
+// walks -- and order must still come out exactly (time, seq).
+TEST(EventQueueTest, BurstBelowSparseFrontierStaysOrdered) {
+  EventQueue q;
+  const TimePoint distant = TimePoint::at_ns(3'600'000'000'000);  // one hour
+  q.schedule(distant, [] {});  // distant timer raises the frontier
+  std::vector<EventId> more;
+  for (int i = 0; i < 40; ++i) {  // cross kSparseLimit while wheels are empty
+    more.push_back(q.schedule(TimePoint::at_us(500'000 + i), [] {}));
+  }
+  // Dense burst far below the due minimum.
+  for (int i = 0; i < 5000; ++i) {
+    q.schedule(TimePoint::at_us(100 + (i * 37) % 4096), [] {});
+  }
+  EXPECT_EQ(q.size(), 1u + 40u + 5000u);
+  TimePoint last = TimePoint::origin();
+  std::size_t n = 0;
+  while (!q.empty()) {
+    auto p = q.pop();
+    EXPECT_GE(p.time, last);
+    last = p.time;
+    ++n;
+  }
+  EXPECT_EQ(n, 5041u);
+  EXPECT_EQ(last, distant);
+}
+
 TEST(EventQueueTest, ManyInterleavedSchedulesAndCancels) {
   EventQueue q;
   std::vector<EventId> ids;

@@ -1,0 +1,154 @@
+// Randomized differential test: the hierarchical timer wheel
+// (src/sim/event_queue.hpp) against the original indexed binary min-heap it
+// replaced (tests/sim/reference_heap_queue.hpp). Identical operation
+// streams must produce identical observable behavior at every step -- pop
+// order, next_time(), cancel results, and size().
+//
+// Deltas are drawn from four magnitude classes so the streams exercise
+// every storage tier of the wheel: the sorted due list (sub-granule and
+// past-frontier inserts), level-0 buckets, higher cascade levels, and the
+// far-future heap beyond the wheels' 2^49 ns span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "reference_heap_queue.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace rthv::sim {
+namespace {
+
+class WheelVsHeapTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WheelVsHeapTest, IdenticalBehaviorUnderRandomOps) {
+  Xoshiro256 rng(GetParam());
+  EventQueue wheel;
+  reference::EventQueue heap;
+  struct LiveEntry {
+    EventId wheel_id;
+    reference::EventId heap_id;
+  };
+  std::vector<LiveEntry> live;
+  std::int64_t now = 0;  // last popped time: deltas are relative to this
+  int wheel_payload = -1;
+  int heap_payload = -1;
+
+  for (int step = 0; step < 6000; ++step) {
+    const double op = rng.uniform01();
+    if (op < 0.55 || wheel.empty()) {
+      // Schedule with a delta spanning all wheel tiers. The occasional
+      // behind-the-frontier insert (an event earlier than ones already
+      // popped around it) lands in the due list on the wheel side.
+      const double m = rng.uniform01();
+      std::int64_t t;
+      if (m < 0.10) {
+        t = std::max<std::int64_t>(0, now - static_cast<std::int64_t>(
+                                            rng.uniform_int(0, 20'000)));
+      } else if (m < 0.50) {
+        t = now + static_cast<std::int64_t>(rng.uniform_int(0, 20'000));
+      } else if (m < 0.75) {
+        t = now + static_cast<std::int64_t>(rng.uniform_int(0, 60'000'000));
+      } else if (m < 0.92) {
+        // Hours out: upper wheel levels, cascading on the way back down.
+        t = now + static_cast<std::int64_t>(rng.uniform_int(0, 20'000'000'000'000));
+      } else {
+        // Weeks out: beyond the wheels' span, lands in the far heap.
+        t = now + static_cast<std::int64_t>(rng.uniform_int(0, 2'000'000'000'000'000));
+      }
+      const int payload = step;
+      const EventId wid = wheel.schedule(
+          TimePoint::at_ns(t), [&wheel_payload, payload] { wheel_payload = payload; });
+      const reference::EventId hid = heap.schedule(
+          TimePoint::at_ns(t), [&heap_payload, payload] { heap_payload = payload; });
+      live.push_back(LiveEntry{wid, hid});
+    } else if (op < 0.75 && !live.empty()) {
+      // Cancel a random remembered id (may already have popped: both sides
+      // must then agree it is stale).
+      const auto idx = rng.uniform_int(0, live.size() - 1);
+      const LiveEntry e = live[idx];
+      const bool wheel_cancelled = wheel.cancel(e.wheel_id);
+      const bool heap_cancelled = heap.cancel(e.heap_id);
+      ASSERT_EQ(wheel_cancelled, heap_cancelled);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      ASSERT_FALSE(heap.empty());
+      ASSERT_EQ(wheel.next_time(), heap.next_time());
+      auto from_wheel = wheel.pop();
+      auto from_heap = heap.pop();
+      ASSERT_EQ(from_wheel.time, from_heap.time);
+      from_wheel.callback();
+      from_heap.callback();
+      ASSERT_EQ(wheel_payload, heap_payload);
+      now = std::max(now, from_wheel.time.count_ns());
+    }
+    ASSERT_EQ(wheel.size(), heap.size());
+    ASSERT_EQ(wheel.empty(), heap.empty());
+  }
+
+  // Drain both completely and compare the full remaining order.
+  while (!heap.empty()) {
+    ASSERT_EQ(wheel.next_time(), heap.next_time());
+    auto from_wheel = wheel.pop();
+    auto from_heap = heap.pop();
+    ASSERT_EQ(from_wheel.time, from_heap.time);
+    from_wheel.callback();
+    from_heap.callback();
+    ASSERT_EQ(wheel_payload, heap_payload);
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+// Dense same-tick bursts: many events collapsing into few buckets must pop
+// FIFO by scheduling order on both sides (the wheel sorts an opened bucket
+// by the full (time, seq) key; time alone would interleave wrongly).
+TEST_P(WheelVsHeapTest, SameTickBurstsPreserveFifo) {
+  Xoshiro256 rng(GetParam() + 1000);
+  EventQueue wheel;
+  reference::EventQueue heap;
+  int wheel_payload = -1;
+  int heap_payload = -1;
+  std::int64_t now = 0;
+  for (int round = 0; round < 60; ++round) {
+    // A burst of events over very few distinct times, far enough out that
+    // they share wheel buckets.
+    const std::int64_t base = now + static_cast<std::int64_t>(
+                                        rng.uniform_int(0, 4'000'000));
+    for (int i = 0; i < 40; ++i) {
+      const std::int64_t t = base + static_cast<std::int64_t>(rng.uniform_int(0, 3)) * 8192;
+      const int payload = round * 1000 + i;
+      wheel.schedule(TimePoint::at_ns(t),
+                     [&wheel_payload, payload] { wheel_payload = payload; });
+      heap.schedule(TimePoint::at_ns(t),
+                    [&heap_payload, payload] { heap_payload = payload; });
+    }
+    const auto drains = rng.uniform_int(10, 40);
+    for (std::uint64_t i = 0; i < drains && !heap.empty(); ++i) {
+      auto from_wheel = wheel.pop();
+      auto from_heap = heap.pop();
+      ASSERT_EQ(from_wheel.time, from_heap.time);
+      from_wheel.callback();
+      from_heap.callback();
+      ASSERT_EQ(wheel_payload, heap_payload);
+      now = std::max(now, from_wheel.time.count_ns());
+    }
+    ASSERT_EQ(wheel.size(), heap.size());
+  }
+  while (!heap.empty()) {
+    auto from_wheel = wheel.pop();
+    auto from_heap = heap.pop();
+    ASSERT_EQ(from_wheel.time, from_heap.time);
+    from_wheel.callback();
+    from_heap.callback();
+    ASSERT_EQ(wheel_payload, heap_payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelVsHeapTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rthv::sim

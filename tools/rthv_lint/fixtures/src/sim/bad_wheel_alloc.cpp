@@ -1,0 +1,17 @@
+// Fixture: per-event heap allocation in a timer-wheel insert path. The
+// event core files nodes into a pre-grown bump-pointer arena; allocating
+// per schedule()/cascade would put the allocator on the hottest path in
+// the simulator.
+#include <cstdlib>
+
+struct FixtureWheelNode {
+  long tick;
+  FixtureWheelNode* next;
+};
+
+FixtureWheelNode* fixture_wheel_insert(long tick) {
+  auto* node = new FixtureWheelNode{tick, nullptr};  // rthv-lint-expect: no-hot-alloc
+  void* bucket = std::calloc(64, sizeof(void*));     // rthv-lint-expect: no-hot-alloc
+  std::free(bucket);
+  return node;
+}

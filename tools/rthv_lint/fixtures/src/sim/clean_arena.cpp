@@ -1,0 +1,30 @@
+// Fixture: the sanctioned storage pattern for the event core -- a
+// bump-pointer slot arena with freelist reuse. Growth happens through the
+// arena's own vector (amortized, cold path); the steady-state
+// acquire/release cycle never touches the allocator, so the no-hot-alloc
+// rule stays quiet.
+#include <cstdint>
+#include <vector>
+
+class FixtureSlotArena {
+ public:
+  std::uint32_t acquire() {
+    if (free_head_ != kNpos) {
+      const std::uint32_t s = free_head_;
+      free_head_ = next_free_[s];
+      return s;
+    }
+    next_free_.push_back(kNpos);
+    return static_cast<std::uint32_t>(next_free_.size() - 1);
+  }
+
+  void release(std::uint32_t s) {
+    next_free_[s] = free_head_;
+    free_head_ = s;
+  }
+
+ private:
+  static constexpr std::uint32_t kNpos = 0xffff'ffffU;
+  std::vector<std::uint32_t> next_free_;
+  std::uint32_t free_head_ = kNpos;
+};
