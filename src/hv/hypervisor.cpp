@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace rthv::hv {
@@ -39,7 +41,14 @@ void Hypervisor::set_schedule(std::vector<TdmaSlot> slots) {
 IrqSourceId Hypervisor::add_irq_source(const IrqSourceConfig& config) {
   assert(!started_);
   assert(config.line != tdma_line_ && "line 0 is reserved for the TDMA timer");
-  assert(config.line < platform_.intc().num_lines());
+  // Runtime check, not just an assert: config.line indexes line_to_source_
+  // below, so an out-of-range value from a bad experiment config would be an
+  // out-of-bounds write in release builds.
+  if (config.line >= platform_.intc().num_lines()) {
+    throw std::out_of_range("add_irq_source: IRQ line " + std::to_string(config.line) +
+                            " out of range (interrupt controller has " +
+                            std::to_string(platform_.intc().num_lines()) + " lines)");
+  }
   assert(config.subscriber < partitions_.size());
   assert(config.c_top.is_positive());
   assert(config.c_bottom.is_positive());

@@ -4,11 +4,11 @@
 // single binary min-heap (kept as tests/sim/reference_heap_queue.hpp, the
 // reference model for the differential test):
 //
-//  * Time is quantised into ticks of 2^kGranuleShift ns (1.024 us). Level 0
+//  * Time is quantised into ticks of 2^kGranuleShift ns (8.192 us). Level 0
 //    is a 64-bucket wheel of single-tick buckets covering the next 64 ticks
 //    past the frontier; each higher level covers 64x the span of the one
 //    below (level L buckets span 2^(kBucketBits*L) ticks). With 6 levels the
-//    wheels cover 2^36 ticks = 2^46 ns (~19.5 hours) past the frontier;
+//    wheels cover 2^36 ticks = 2^49 ns (~6.5 days) past the frontier;
 //    events beyond that go to a small far-future binary heap.
 //  * schedule / cancel are O(1): an event links into the tail of exactly one
 //    bucket (a doubly-linked intrusive list through the slot table), and
@@ -49,7 +49,9 @@
 //      cascades terminate and due extraction only ever opens level 0.
 //  I4  all far-heap events lie beyond the frontier's aligned top-level
 //      window (the XOR-prefix range insert_tick levels by); refill_far()
-//      pulls newly covered events whenever the top-level cursor advances.
+//      pulls newly covered events whenever the frontier's window prefix
+//      changes -- in shift_to() and when an opened bucket's tick + 1 lands
+//      in the next window.
 //
 // Slot storage is a bump-pointer arena with freelist reuse: trivially
 // copyable Node records in one flat vector (relocated by memcpy on growth),
@@ -317,7 +319,8 @@ class EventQueue {
   static constexpr std::size_t kBucketsPerLevel = std::size_t{1} << kBucketBits;
   static constexpr std::uint64_t kBucketMask = kBucketsPerLevel - 1;
   static constexpr unsigned kTopShift = kBucketBits * (kLevels - 1);
-  static constexpr std::int64_t kSpanTicks = std::int64_t{1} << (kBucketBits * kLevels);
+  static constexpr unsigned kWindowShift = kBucketBits * kLevels;
+  static constexpr std::int64_t kSpanTicks = std::int64_t{1} << kWindowShift;
 
   /// Below this population (with empty wheels) scheduling bypasses the
   /// wheel entirely; bounds the due-list insertion walk.
@@ -607,7 +610,7 @@ class EventQueue {
       n.state = NodeState::kDue;
       n.prev = n.next = kNpos;
       due_head_ = due_tail_ = s;
-      frontier_tick_ = tick + 1;
+      frontier_past_bucket(tick);
       ++buckets_opened_;
       return;
     }
@@ -633,8 +636,20 @@ class EventQueue {
       prev = k.slot;
     }
     due_tail_ = prev;
-    frontier_tick_ = tick + 1;
+    frontier_past_bucket(tick);
     ++buckets_opened_;
+  }
+
+  /// Moves the frontier just past an opened bucket. Opening the last bucket
+  /// of an aligned top-level window lands the frontier in the next window,
+  /// which changes the XOR-prefix range the far heap is defined by (I4):
+  /// refill right here, or far events newly inside the wheel horizon would
+  /// hide behind a far boundary that advance() computes as still a whole
+  /// window away, and later wheel events would pop first.
+  void frontier_past_bucket(std::int64_t tick) {
+    const std::int64_t old_window = frontier_tick_ >> kWindowShift;
+    frontier_tick_ = tick + 1;
+    if (!far_.empty() && (frontier_tick_ >> kWindowShift) != old_window) refill_far();
   }
 
   /// Moves the frontier to `tick` (the start of the earliest hidden bucket)

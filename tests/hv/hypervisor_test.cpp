@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "hw/platform.hpp"
@@ -71,6 +72,18 @@ class HypervisorTest : public ::testing::Test {
   std::vector<hw::HwTimer*> timers_;
   std::vector<CompletedIrq> completions_;
 };
+
+// An out-of-range IRQ line must be rejected at configuration time even in
+// release builds: config.line indexes the line->source table directly.
+TEST_F(HypervisorTest, AddIrqSourceRejectsOutOfRangeLine) {
+  IrqSourceConfig cfg;
+  cfg.name = "bogus";
+  cfg.line = platform_.intc().num_lines();  // one past the last valid line
+  cfg.subscriber = p0_;
+  cfg.c_top = Duration::us(5);
+  cfg.c_bottom = Duration::us(20);
+  EXPECT_THROW(hv_.add_irq_source(cfg), std::out_of_range);
+}
 
 TEST_F(HypervisorTest, StartEntersFirstSlot) {
   hv_.start();

@@ -274,6 +274,44 @@ TEST(EventQueueTest, BurstBelowSparseFrontierStaysOrdered) {
   EXPECT_EQ(last, distant);
 }
 
+// Regression: opening a level-0 bucket at the last tick of an aligned
+// top-level (2^36-tick) window moves the frontier into the next window,
+// which changes the XOR-prefix range the far heap is defined by (I4). The
+// far heap must be refilled right there: without it, an event just past
+// the boundary stays in the heap while advance()'s far boundary lies a
+// whole window beyond it, so later wheel events pop first.
+TEST(EventQueueTest, FarRefillWhenOpenedBucketCrossesTopWindow) {
+  constexpr std::int64_t kGranuleNs = 8192;  // 2^13 ns per tick
+  constexpr std::int64_t kWindowTicks = std::int64_t{1} << 36;
+  EventQueue q;
+  // Populate past the sparse threshold so the boundary events take the
+  // wheel/far path instead of the due list.
+  for (int i = 0; i < 40; ++i) q.schedule(TimePoint::at_us(10 + i), [] {});
+  // A sits on the last tick of the first top-level window; opening its
+  // bucket lands the frontier exactly on the window boundary. B lies just
+  // past the boundary: far heap at schedule time, inside the wheel horizon
+  // once the frontier crosses.
+  const TimePoint a = TimePoint::at_ns((kWindowTicks - 1) * kGranuleNs);
+  const TimePoint b = TimePoint::at_ns((kWindowTicks + 1) * kGranuleNs);
+  q.schedule(a, [] {});
+  q.schedule(b, [] {});
+  ASSERT_EQ(q.stats().far_heap_size, 1u);
+  // Drain the near events and A; opening A's bucket crosses the window.
+  TimePoint last = TimePoint::origin();
+  for (int i = 0; i < 41; ++i) {
+    auto p = q.pop();
+    ASSERT_GE(p.time, last);
+    last = p.time;
+  }
+  ASSERT_EQ(last, a);
+  // C arrives after the crossing, later than B, and lands in the wheels.
+  const TimePoint c = TimePoint::at_ns((kWindowTicks + 100) * kGranuleNs);
+  q.schedule(c, [] {});
+  EXPECT_EQ(q.pop().time, b);  // the far event beats the later wheel event
+  EXPECT_EQ(q.pop().time, c);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, ManyInterleavedSchedulesAndCancels) {
   EventQueue q;
   std::vector<EventId> ids;

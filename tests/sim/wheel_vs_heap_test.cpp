@@ -52,9 +52,17 @@ TEST_P(WheelVsHeapTest, IdenticalBehaviorUnderRandomOps) {
         t = now + static_cast<std::int64_t>(rng.uniform_int(0, 20'000));
       } else if (m < 0.75) {
         t = now + static_cast<std::int64_t>(rng.uniform_int(0, 60'000'000));
-      } else if (m < 0.92) {
+      } else if (m < 0.88) {
         // Hours out: upper wheel levels, cascading on the way back down.
         t = now + static_cast<std::int64_t>(rng.uniform_int(0, 20'000'000'000'000));
+      } else if (m < 0.92) {
+        // Straddle the next aligned top-level window boundary (2^49 ns):
+        // a random delta has ~2^-36 odds of hitting the last tick of a
+        // window, so without this class the opened-bucket window crossing
+        // (far-heap refill, invariant I4) would never be exercised.
+        const std::int64_t window_ns = std::int64_t{1} << 49;
+        const std::int64_t boundary = (now / window_ns + 1) * window_ns;
+        t = boundary - 8'192 + static_cast<std::int64_t>(rng.uniform_int(0, 16'000));
       } else {
         // Weeks out: beyond the wheels' span, lands in the far heap.
         t = now + static_cast<std::int64_t>(rng.uniform_int(0, 2'000'000'000'000'000));
@@ -144,6 +152,66 @@ TEST_P(WheelVsHeapTest, SameTickBurstsPreserveFifo) {
     from_wheel.callback();
     from_heap.callback();
     ASSERT_EQ(wheel_payload, heap_payload);
+  }
+}
+
+// Window-boundary walk. The interactive test above never carries `now`
+// across an aligned top-level window boundary (2^49 ns): pops crawl through
+// the ever-growing near population, and by the final drain no schedules are
+// interleaved, so a missed far-heap refill at the crossing self-heals on
+// the next advance(). This test drives the drain across four boundaries
+// with near schedules interleaved mid-drain -- right after a crossing those
+// land in the wheels ahead of any far event the crossing should have
+// refilled (invariant I4, the open_bucket crossing regression), and the
+// step-by-step comparison catches the inversion.
+TEST_P(WheelVsHeapTest, WindowBoundaryWalkStaysIdentical) {
+  Xoshiro256 rng(GetParam() + 2000);
+  EventQueue wheel;
+  reference::EventQueue heap;
+  constexpr std::int64_t kWindowNs = std::int64_t{1} << 49;
+  std::int64_t now = 0;
+  int wheel_payload = -1;
+  int heap_payload = -1;
+  int payload = 0;
+  const auto schedule_both = [&](std::int64_t t) {
+    const int p = payload++;
+    wheel.schedule(TimePoint::at_ns(t), [&wheel_payload, p] { wheel_payload = p; });
+    heap.schedule(TimePoint::at_ns(t), [&heap_payload, p] { heap_payload = p; });
+  };
+  for (int window = 1; window <= 4; ++window) {
+    const std::int64_t boundary = window * kWindowNs;
+    // Filler spread over the rest of the current window, then events hugging
+    // both sides of the boundary: the below-boundary ones share the last
+    // tick of the window, so opening their bucket crosses it while the
+    // above-boundary ones still sit in the far heap.
+    for (int i = 0; i < 30; ++i) {
+      schedule_both(now + 1 +
+                    static_cast<std::int64_t>(rng.uniform_int(
+                        0, static_cast<std::uint64_t>(boundary - now - 20'000))));
+    }
+    for (int i = 0; i < 30; ++i) {
+      schedule_both(boundary - 8'192 +
+                    static_cast<std::int64_t>(rng.uniform_int(0, 16'000)));
+    }
+    while (!heap.empty()) {
+      ASSERT_FALSE(wheel.empty());
+      ASSERT_EQ(wheel.next_time(), heap.next_time());
+      auto from_wheel = wheel.pop();
+      auto from_heap = heap.pop();
+      ASSERT_EQ(from_wheel.time, from_heap.time);
+      from_wheel.callback();
+      from_heap.callback();
+      ASSERT_EQ(wheel_payload, heap_payload);
+      now = std::max(now, from_wheel.time.count_ns());
+      // Sub-critical interleave (0.4 expected inserts per pop, so the drain
+      // terminates); after the crossing these become the wheel events that
+      // would overtake an unrefilled far event.
+      if (rng.uniform01() < 0.4) {
+        schedule_both(now + static_cast<std::int64_t>(rng.uniform_int(0, 20'000)));
+      }
+    }
+    ASSERT_TRUE(wheel.empty());
+    now = std::max(now, boundary + 1);
   }
 }
 
