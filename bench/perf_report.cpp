@@ -132,6 +132,76 @@ void full_system_irqs(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
 }
 
+// --- IRQ hot-path phase breakdown -------------------------------------------
+//
+// Four rows under full_system/irqs_phases/ isolate where a monitored IRQ's
+// wall-clock cost goes. Every row runs the same 2000-activation exponential
+// trace shape per iteration, so ns_per_op values are directly comparable and
+// adjacent differences attribute cost to one layer:
+//
+//   queue     event-queue work alone (schedule+pop per hot event, hv shape)
+//   dispatch  + hypervisor top/bottom dispatch (monitor off, tracing off)
+//   admit     + delta^- admission          (delta-min,  tracing off)
+//   trace     + typed trace-ring emission  (delta-min,  tracing on)
+
+std::uint64_t run_phase_system(core::MonitorKind monitor, bool tracing) {
+  constexpr std::size_t kIrqs = 2000;
+  auto cfg = core::SystemConfig::paper_baseline();
+  cfg.mode = hv::TopHandlerMode::kInterposing;
+  cfg.sources[0].monitor = monitor;
+  cfg.sources[0].d_min = Duration::us(1444);
+  core::HypervisorSystem system(cfg);
+  if (tracing) system.enable_tracing();
+  workload::ExponentialTraceGenerator gen(Duration::us(1444), 7, Duration::us(1444));
+  system.attach_trace(0, gen.generate(kIrqs));
+  return system.run(Duration::s(60));
+}
+
+void irqs_phases_queue(benchmark::State& state) {
+  constexpr std::size_t kIrqs = 2000;
+  sim::EventQueue queue;
+  // A live run keeps a handful of events pending (TDMA tick, guest
+  // completions, far-future timers); seed that occupancy so pops pay
+  // realistic bucket scans rather than empty-queue fast paths.
+  std::int64_t t = 0;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 8; ++i) {
+    queue.schedule(TimePoint::at_ns(1'000'000'000 + i * 1'000'000), [] {});
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kIrqs; ++i) {
+      t += 1'444'000;
+      // Per admitted IRQ the fused hot path costs the queue two
+      // schedule+pop round trips: the source timer fire and the decision
+      // continuation at interposition end.
+      queue.schedule(TimePoint::at_ns(t + 57'000), [&sink] { ++sink; });
+      queue.pop().callback();
+      queue.schedule(TimePoint::at_ns(t + 100'000), [&sink] { ++sink; });
+      queue.pop().callback();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kIrqs));
+}
+
+void irqs_phases_dispatch(benchmark::State& state) {
+  std::uint64_t irqs = 0;
+  for (auto _ : state) irqs += run_phase_system(core::MonitorKind::kNone, false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
+}
+
+void irqs_phases_admit(benchmark::State& state) {
+  std::uint64_t irqs = 0;
+  for (auto _ : state) irqs += run_phase_system(core::MonitorKind::kDeltaMin, false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
+}
+
+void irqs_phases_trace(benchmark::State& state) {
+  std::uint64_t irqs = 0;
+  for (auto _ : state) irqs += run_phase_system(core::MonitorKind::kDeltaMin, true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
+}
+
 // Cost of an RTHV_TRACE site with the ring disabled: this is what every
 // instrumented hot path pays when nobody asked for a trace, and the
 // committed baseline asserts it stays < 1 ns/event. ClobberMemory keeps the
@@ -189,6 +259,30 @@ void delta_vector_admit(benchmark::State& state) {
     benchmark::DoNotOptimize(monitor.record_and_check(TimePoint::at_ns(t)));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// Batched admission: 16 activations judged per call through the
+// record_and_check_batch API. ns_per_op is per *batch*; events_per_sec is
+// the per-activation rate comparable with mon/delta_vector_admit.
+void delta_vector_admit_batch(benchmark::State& state) {
+  constexpr std::size_t kBatch = 16;
+  mon::DeltaVector deltas;
+  for (std::size_t i = 0; i < 5; ++i) {
+    deltas.push_back(Duration::us(100 * static_cast<std::int64_t>(i + 1)));
+  }
+  mon::DeltaVectorMonitor monitor(deltas);
+  TimePoint times[kBatch];
+  std::uint8_t verdicts[kBatch];
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      t += 73'000;
+      times[i] = TimePoint::at_ns(t);
+    }
+    monitor.record_and_check_batch(times, kBatch, verdicts);
+    benchmark::DoNotOptimize(verdicts);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
 }
 
 // --- result collection ------------------------------------------------------
@@ -304,8 +398,11 @@ std::map<std::string, double> read_baseline_ns(const std::string& path) {
 
 /// Compares fresh results against a committed baseline. Fails (exit 1) if
 /// any baseline benchmark is missing from this run or slowed down by more
-/// than 10%. A small absolute slack keeps sub-nanosecond entries (the
-/// disabled trace-site probe) from tripping the gate on timer quantization.
+/// than 10%. Benchmarks present in this run but absent from the baseline
+/// never gate: they are listed as "new benchmark (no baseline)" so a PR can
+/// add probes without immediately updating the committed JSON. A small
+/// absolute slack keeps sub-nanosecond entries (the disabled trace-site
+/// probe) from tripping the gate on timer quantization.
 int compare_against(const std::string& baseline_path,
                     const std::map<std::string, Measurement>& results) {
   constexpr double kRelTolerance = 0.10;
@@ -330,8 +427,8 @@ int compare_against(const std::string& baseline_path,
   }
   for (const auto& [name, m] : results) {
     if (!baseline.contains(name)) {
-      std::printf("%-44s %12s %12.3f %8s  (new, not in baseline)\n", name.c_str(),
-                  "-", m.ns_per_op, "-");
+      std::printf("%-44s %12s %12.3f %8s  new benchmark (no baseline)\n",
+                  name.c_str(), "-", m.ns_per_op, "-");
     }
   }
   if (failures > 0) {
@@ -373,11 +470,20 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("event_queue/mixed_hv_pattern", mixed_hv_pattern);
   benchmark::RegisterBenchmark("mon/delta_min_admit", delta_min_admit);
   benchmark::RegisterBenchmark("mon/delta_vector_admit", delta_vector_admit);
+  benchmark::RegisterBenchmark("mon/delta_vector_admit_batch16", delta_vector_admit_batch);
   benchmark::RegisterBenchmark("obs/trace_overhead_ns", trace_overhead_disabled);
   benchmark::RegisterBenchmark("obs/trace_overhead_enabled_ns", trace_overhead_enabled);
   benchmark::RegisterBenchmark("full_system/events", full_system_events)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("full_system/irqs", full_system_irqs)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("full_system/irqs_phases/queue", irqs_phases_queue)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("full_system/irqs_phases/dispatch", irqs_phases_dispatch)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("full_system/irqs_phases/admit", irqs_phases_admit)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("full_system/irqs_phases/trace", irqs_phases_trace)
       ->Unit(benchmark::kMillisecond);
 
   int bench_argc = static_cast<int>(bench_args.size());

@@ -46,6 +46,16 @@ if ! ./build-ci/bench/perf_report build-ci/bench/ci_perf.json \
     --compare BENCH_sim_throughput.json
 fi
 
+# Archive the gate's measurements: one JSON per run, stamped with the git
+# revision and UTC date (both also recorded inside the JSON by perf_report),
+# so perf history survives CI workspaces being recycled and a regression can
+# be bisected against real past numbers instead of the single committed
+# baseline.
+mkdir -p artifacts/perf
+archive="artifacts/perf/perf_$(git rev-parse --short HEAD 2>/dev/null || echo unknown)_$(date -u +%Y%m%dT%H%M%SZ).json"
+cp build-ci/bench/ci_perf.json "$archive"
+echo "perf report archived: $archive"
+
 echo "== static analysis =="
 python3 tools/rthv_lint/rthv_lint.py --self-test
 python3 tools/rthv_lint/rthv_lint.py src bench

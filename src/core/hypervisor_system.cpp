@@ -65,6 +65,7 @@ HypervisorSystem::HypervisorSystem(const SystemConfig& config)
   platform_ = std::make_unique<hw::Platform>(sim_, config_.platform);
   hv_ = std::make_unique<hv::Hypervisor>(*platform_, config_.overheads);
   hv_->set_top_handler_mode(config_.mode);
+  hv_->set_batched_top_half(config_.batched_top_half);
 
   std::vector<hv::TdmaSlot> slots;
   for (const auto& p : config_.partitions) {
@@ -112,6 +113,7 @@ HypervisorSystem::HypervisorSystem(const SystemConfig& config)
     if (auto monitor = build_monitor(s)) {
       hv_->set_monitor(sid, std::move(monitor));
     }
+    if (s.direct_delivery) hv_->set_direct_delivery(sid, true);
     platform_->add_timer(src.line);
   }
 
@@ -176,6 +178,9 @@ obs::MetricsSnapshot HypervisorSystem::metrics_snapshot() const {
   snap.add_counter("irq.denied.backlog", irq.denied_backlog);
   snap.add_counter("irq.denied.guest_masked", irq.denied_guest_masked);
   snap.add_counter("irq.deferred_slot_switches", irq.deferred_slot_switches);
+  snap.add_counter("irq.direct_hw", irq.direct_hw);
+  snap.add_counter("irq.batches", irq.batches);
+  snap.add_counter("irq.batched", irq.batched_irqs);
 
   const auto& ctx = hv_->context_switches();
   snap.add_counter("ctx.tdma", ctx.tdma);
@@ -245,7 +250,12 @@ std::uint64_t HypervisorSystem::run(Duration horizon) {
     return lost;
   };
   // With no traces attached, run to the horizon (pure guest workloads).
+  // Termination check, cheapest first: the controller-global lost counter
+  // over-approximates the per-source sum (it also covers line 0), so while
+  // completed + global losses stay below expected the run certainly isn't
+  // done and the per-line scan is skipped entirely.
   while ((run_to_horizon_ || expected_ == 0 ||
+          completed_ + platform_->intc().lost_raises() < expected_ ||
           completed_ + lost_on_sources() < expected_) &&
          !sim_.idle() && sim_.now() < end) {
     sim_.step();

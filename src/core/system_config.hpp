@@ -48,6 +48,12 @@ struct IrqSourceSpec {
   std::uint64_t learning_events = 0; // kLearning: learning-phase length
   std::uint32_t bucket_depth = 1;    // kTokenBucket: burst capacity
   std::uint32_t window_events = 1;   // kWindowCount: N (window = d_min)
+
+  /// UINTC-style direct delivery: the source's line bypasses the hypervisor
+  /// (fixed hardware cost, no interposition, no slot wait); its monitor
+  /// observes via a shadow channel but gates nothing. See
+  /// hw::PlatformConfig::direct_delivery_cycles for the hardware cost.
+  bool direct_delivery = false;
 };
 
 struct ScheduleSlot {
@@ -68,6 +74,9 @@ struct SystemConfig {
   /// Background-task chunk size (guest preemption granularity).
   sim::Duration background_quantum = sim::Duration::ms(1);
   std::size_t irq_queue_capacity = 256;
+  /// One IRQ entry drains every latched line in a single batched top-half
+  /// pass (off = one line per entry, as the unbatched hypervisor behaved).
+  bool batched_top_half = true;
 
   /// Pre-sizing hints for the simulator's timer-wheel event core. Zero
   /// means "grow lazily"; experiment drivers set these from the sweep plan

@@ -100,43 +100,59 @@ std::optional<hv::WorkUnit> GuestKernel::next_work(TimePoint) {
   if (id == kNone) return std::nullopt;
   Task& t = tasks_[id];
   Duration chunk = t.job_remaining;
-  if (t.cfg.quantum.is_positive()) chunk = std::min(chunk, t.cfg.quantum);
+  // The quantum bounds how long another task's release can wait before the
+  // running job reaches a chunk boundary and the dispatcher re-picks. A
+  // kernel with a single task has no such other release: hand the whole
+  // remaining job over in one unit (the hypervisor still preempts it at
+  // IRQs and slot boundaries) instead of paying one simulator event per
+  // quantum for a preemption point nothing can ever use.
+  if (t.cfg.quantum.is_positive() && tasks_.size() > 1) {
+    chunk = std::min(chunk, t.cfg.quantum);
+  }
   assert(chunk.is_positive());
 
+  // Exactly one work unit is outstanding at a time (the hypervisor asks for
+  // the next only after the previous completed or was discarded), so the
+  // chunk bookkeeping lives in members and the completion callback captures
+  // only `this` -- small enough for std::function's inline storage.
+  chunk_task_ = id;
+  chunk_size_ = chunk;
   hv::WorkUnit work;
   work.category = hw::WorkCategory::kGuest;
   work.remaining = chunk;
-  work.on_complete = [this, id, chunk] {
-    Task& task = tasks_[id];
-    task.job_remaining -= chunk;
-    if (!task.job_remaining.is_positive()) {
-      ++task.completed;
-      rr_cursor_ = id + 1;  // rotate equal-priority service
-      if (task.cfg.deadline.is_positive() && task.cfg.period.is_positive() &&
-          sim_.now() > task.release_time + task.cfg.deadline) {
-        ++task.deadline_misses;
-        if (deadline_callback_) deadline_callback_(id, sim_.now());
-      }
-      if (task.cfg.event_driven) {
-        if (task.pending_activations > 0) {
-          --task.pending_activations;
-          task.job_remaining = task.cfg.budget;
-          task.release_time = sim_.now();
-          ++task.released;
-        } else {
-          task.ready = false;
-        }
-      } else if (task.cfg.period.is_zero()) {
-        // Background task re-arms immediately.
-        task.job_remaining = task.cfg.budget;
-        ++task.released;
-      } else {
-        task.ready = false;
-      }
-      if (job_callback_) job_callback_(id, sim_.now());
-    }
-  };
+  work.on_complete = [this] { complete_chunk(); };
   return work;
+}
+
+void GuestKernel::complete_chunk() {
+  const TaskId id = chunk_task_;
+  Task& task = tasks_[id];
+  task.job_remaining -= chunk_size_;
+  if (task.job_remaining.is_positive()) return;
+  ++task.completed;
+  rr_cursor_ = id + 1;  // rotate equal-priority service
+  if (task.cfg.deadline.is_positive() && task.cfg.period.is_positive() &&
+      sim_.now() > task.release_time + task.cfg.deadline) {
+    ++task.deadline_misses;
+    if (deadline_callback_) deadline_callback_(id, sim_.now());
+  }
+  if (task.cfg.event_driven) {
+    if (task.pending_activations > 0) {
+      --task.pending_activations;
+      task.job_remaining = task.cfg.budget;
+      task.release_time = sim_.now();
+      ++task.released;
+    } else {
+      task.ready = false;
+    }
+  } else if (task.cfg.period.is_zero()) {
+    // Background task re-arms immediately.
+    task.job_remaining = task.cfg.budget;
+    ++task.released;
+  } else {
+    task.ready = false;
+  }
+  if (job_callback_) job_callback_(id, sim_.now());
 }
 
 void GuestKernel::on_bottom_handler_complete(const hv::IrqEvent& event) {

@@ -39,7 +39,9 @@ struct GuestTaskConfig {
   bool event_driven = false;
   sim::Duration phase;         // first release offset (periodic tasks)
   /// Maximum chunk of work handed to the hypervisor at once; zero = whole
-  /// remaining job in one unit.
+  /// remaining job in one unit. The chunk boundary is where another task's
+  /// release preempts, so a kernel whose only task is this one ignores the
+  /// quantum and hands the whole remaining job over in one unit.
   sim::Duration quantum;
   /// Relative deadline checked at job completion; zero = none (no deadline
   /// monitoring for this task).
@@ -108,6 +110,7 @@ class GuestKernel final : public hv::PartitionClient {
 
   void release(TaskId id);
   void schedule_next_release(TaskId id, sim::TimePoint at);
+  void complete_chunk();
   [[nodiscard]] TaskId pick_ready() const;
   static constexpr TaskId kNone = std::numeric_limits<TaskId>::max();
 
@@ -121,6 +124,9 @@ class GuestKernel final : public hv::PartitionClient {
   DeadlineMissCallback deadline_callback_;
   std::uint64_t bh_seen_ = 0;
   std::uint64_t rr_cursor_ = 0;  // rotation point for equal priorities
+  // The single outstanding work unit's bookkeeping (see next_work()).
+  TaskId chunk_task_ = 0;
+  sim::Duration chunk_size_;
 };
 
 }  // namespace rthv::guest

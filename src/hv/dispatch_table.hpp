@@ -1,0 +1,94 @@
+// Data-oriented dispatch tables for the IRQ hot path.
+//
+// Per-IRQ-source and per-line state is kept in struct-of-arrays form,
+// indexed by dense ids, so the Fig. 4a/4b decision path (interpose vs
+// direct, monitor admit, top-half latch) walks contiguous memory with no
+// virtual calls and no per-IRQ allocation. Cold configuration (names,
+// monitor ownership) stays on the hypervisor; only the fields the per-IRQ
+// path touches live here.
+//
+// All arrays are sized during configuration (add()) -- nothing on the
+// service path grows or allocates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hv/types.hpp"
+#include "sim/time.hpp"
+
+namespace rthv::mon {
+class ActivationMonitor;
+}
+
+namespace rthv::hv {
+
+/// Hot per-source state, parallel arrays indexed by IrqSourceId.
+struct SourceTable {
+  std::vector<PartitionId> subscriber;          // owning partition
+  std::vector<sim::Duration> c_top;             // C_THi
+  std::vector<sim::Duration> c_bottom;          // C_BHi (interpose budget)
+  std::vector<mon::ActivationMonitor*> monitor; // borrowed; nullptr = none
+  std::vector<std::uint8_t> direct_hw;          // UINTC-style delivery flag
+  std::vector<std::uint64_t> next_seq;          // per-source sequence counter
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(subscriber.size());
+  }
+
+  IrqSourceId add(PartitionId sub, sim::Duration top, sim::Duration bottom) {
+    const auto id = static_cast<IrqSourceId>(subscriber.size());
+    subscriber.push_back(sub);
+    c_top.push_back(top);
+    c_bottom.push_back(bottom);
+    monitor.push_back(nullptr);
+    direct_hw.push_back(0);
+    next_seq.push_back(0);
+    return id;
+  }
+};
+
+/// Per-hardware-line state: dense line -> source mapping (the controller
+/// has a small fixed number of lines). kNoSource marks unmapped lines.
+struct LineTable {
+  static constexpr IrqSourceId kNoSource = UINT32_MAX;
+
+  std::vector<IrqSourceId> source;
+
+  void resize(std::size_t num_lines) { source.assign(num_lines, kNoSource); }
+  [[nodiscard]] IrqSourceId at(std::uint32_t line) const { return source[line]; }
+};
+
+/// One latched IRQ line collected by the batched top-half path. The
+/// decision fields are filled at the end of the top half, where the
+/// Fig. 4b inputs are frozen (interrupts stay disabled until the fused
+/// continuation applies them).
+struct BatchItem {
+  IrqSourceId source = 0;
+  IrqEvent event;
+  std::uint8_t admitted = 0;     // monitor verdict (recorded every time)
+  std::uint8_t checked = 0;      // took the Fig. 4b path (paid C_Mon)
+  std::uint8_t winner = 0;       // selected for interposition
+  std::uint8_t deny_reason = 0;  // obs::InterposeDenyReason when checked && !winner
+  std::uint8_t dropped = 0;      // subscriber queue was full at push time
+  /// Trace payload captured at push time (queue depth after the push, or
+  /// the drop counter after a drop): the records themselves are emitted in
+  /// the fused continuation, after any same-window third-party events, so
+  /// ring order matches the step-by-step chain.
+  std::uint64_t queue_stat = 0;
+};
+
+/// Fixed-capacity batch of IRQ lines latched while the hypervisor ran with
+/// interrupts disabled; the batched top-half drains a full controller word
+/// (<= 64 lines) in one pass. Lives on the hypervisor, reused every pass --
+/// never allocated per IRQ.
+struct IrqBatch {
+  static constexpr std::size_t kCapacity = 64;
+  BatchItem items[kCapacity];
+  std::size_t count = 0;
+
+  void clear() { count = 0; }
+  BatchItem& push() { return items[count++]; }
+};
+
+}  // namespace rthv::hv

@@ -1,6 +1,7 @@
 #include "hv/hypervisor.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 #include <string>
@@ -16,17 +17,14 @@ using Reason = Hypervisor::ContextChange::Reason;
 
 Hypervisor::Hypervisor(hw::Platform& platform, const OverheadConfig& overheads)
     : platform_(platform), overheads_(platform.cpu(), platform.memory(), overheads) {
-  line_to_source_.assign(platform_.intc().num_lines(), kInvalidSource);
-  // TimePoint::max() marks "never raised"; service_line falls back to now()
-  // for such lines (e.g. a latch set before start() installed the observer).
-  line_raise_time_.assign(platform_.intc().num_lines(), TimePoint::max());
+  lines_.resize(platform_.intc().num_lines());
   health_.set_trace(&trace_.ring());
 }
 
 PartitionId Hypervisor::add_partition(std::string name, std::size_t irq_queue_capacity) {
   assert(!started_);
   const auto id = static_cast<PartitionId>(partitions_.size());
-  partitions_.push_back(std::make_unique<Partition>(id, std::move(name), irq_queue_capacity));
+  partitions_.emplace_back(id, std::move(name), irq_queue_capacity);
   return id;
 }
 
@@ -41,7 +39,7 @@ void Hypervisor::set_schedule(std::vector<TdmaSlot> slots) {
 IrqSourceId Hypervisor::add_irq_source(const IrqSourceConfig& config) {
   assert(!started_);
   assert(config.line != tdma_line_ && "line 0 is reserved for the TDMA timer");
-  // Runtime check, not just an assert: config.line indexes line_to_source_
+  // Runtime check, not just an assert: config.line indexes the line table
   // below, so an out-of-range value from a bad experiment config would be an
   // out-of-bounds write in release builds.
   if (config.line >= platform_.intc().num_lines()) {
@@ -52,20 +50,27 @@ IrqSourceId Hypervisor::add_irq_source(const IrqSourceConfig& config) {
   assert(config.subscriber < partitions_.size());
   assert(config.c_top.is_positive());
   assert(config.c_bottom.is_positive());
-  assert(line_to_source_[config.line] == kInvalidSource && "one source per IRQ line");
-  const auto id = static_cast<IrqSourceId>(sources_.size());
-  sources_.push_back(Source{config, nullptr, 0});
-  line_to_source_[config.line] = id;
+  assert(lines_.at(config.line) == kInvalidSource && "one source per IRQ line");
+  const IrqSourceId id = srcs_.add(config.subscriber, config.c_top, config.c_bottom);
+  source_configs_.push_back(config);
+  owned_monitors_.emplace_back();
+  lines_.source[config.line] = id;
   return id;
 }
 
 void Hypervisor::set_monitor(IrqSourceId source,
                              std::unique_ptr<mon::ActivationMonitor> monitor) {
-  sources_.at(source).monitor = std::move(monitor);
+  owned_monitors_.at(source) = std::move(monitor);
+  srcs_.monitor.at(source) = owned_monitors_[source].get();
+}
+
+void Hypervisor::set_direct_delivery(IrqSourceId source, bool on) {
+  srcs_.direct_hw.at(source) = on ? 1 : 0;
+  platform_.intc().set_direct_delivery(source_configs_.at(source).line, on);
 }
 
 void Hypervisor::set_partition_client(PartitionId p, PartitionClient* client) {
-  partitions_.at(p)->set_client(client);
+  partitions_.at(p).set_client(client);
 }
 
 void Hypervisor::start() {
@@ -74,12 +79,17 @@ void Hypervisor::start() {
   started_ = true;
   ipc_ = std::make_unique<IpcRouter>(num_partitions());
   tdma_timer_ = &platform_.add_timer(tdma_line_);
-  platform_.intc().set_irq_entry([this] { irq_entry(); });
-  platform_.intc().set_raise_observer([this](hw::IrqLine l) { on_line_raised(l); });
+  platform_.intc().set_irq_entry_raw(
+      [](void* ctx) { static_cast<Hypervisor*>(ctx)->irq_entry(); }, this);
+  platform_.intc().set_direct_sink_raw(
+      [](void* ctx, hw::IrqLine line, TimePoint raise_time) {
+        static_cast<Hypervisor*>(ctx)->on_direct_delivery(line, raise_time);
+      },
+      this);
   platform_.intc().set_lost_raise_observer([this](hw::IrqLine l) {
-    const IrqSourceId sid = line_to_source_[l];
+    const IrqSourceId sid = lines_.at(l);
     health_.report(HealthEvent{now(), HealthEventKind::kIrqRaiseLost,
-                               sid != kInvalidSource ? sources_[sid].config.subscriber
+                               sid != kInvalidSource ? srcs_.subscriber[sid]
                                                      : kInvalidPartition,
                                sid});
   });
@@ -121,12 +131,12 @@ std::optional<PortSample> Hypervisor::port_read(PortId port) const {
 
 void Hypervisor::vint_set(bool enabled) {
   assert(started_);
-  partitions_[current_partition_]->set_virtual_irq_enabled(enabled);
+  partitions_[current_partition_].set_virtual_irq_enabled(enabled);
 }
 
 bool Hypervisor::vint_enabled() const {
   assert(started_);
-  return partitions_[current_partition_]->virtual_irq_enabled();
+  return partitions_[current_partition_].virtual_irq_enabled();
 }
 
 void Hypervisor::notify_work_available(PartitionId p) {
@@ -158,7 +168,7 @@ void Hypervisor::restart_partition(PartitionId p) {
 }
 
 void Hypervisor::do_restart_partition(PartitionId p) {
-  Partition& part = *partitions_[p];
+  Partition& part = partitions_[p];
   trace(TracePoint::kPartitionRestart, TraceCategory::kScheduler, p);
   ++restarts_;
 
@@ -191,10 +201,6 @@ TimePoint Hypervisor::now() const { return platform_.simulator().now(); }
 
 // --- hardware glue ----------------------------------------------------------
 
-void Hypervisor::on_line_raised(hw::IrqLine line) {
-  line_raise_time_[line] = now();
-}
-
 void Hypervisor::irq_entry() {
   assert(!hv_busy_);
   platform_.intc().set_cpu_irq_enabled(false);
@@ -203,155 +209,274 @@ void Hypervisor::irq_entry() {
   preempt_running();
   const auto line = platform_.intc().highest_pending();
   assert(line.has_value() && "irq_entry without a pending line");
-  service_line(*line);
+  if (*line == tdma_line_) {
+    // The TDMA tick (line 0, highest priority) is always serviced alone;
+    // device lines latched behind it are re-delivered after the switch.
+    platform_.intc().acknowledge(tdma_line_);
+    service_tdma_tick();
+    return;
+  }
+  service_batch();
 }
 
 // --- hypervisor sequences ----------------------------------------------------
 
-void Hypervisor::service_line(hw::IrqLine line) {
-  platform_.intc().acknowledge(line);
-  if (line == tdma_line_) {
-    service_tdma_tick();
-    return;
-  }
-  const IrqSourceId sid = line_to_source_[line];
-  assert(sid != kInvalidSource && "IRQ on a line without a source");
-  Source& src = sources_[sid];
-  ++irq_path_stats_.serviced;
-
-  IrqEvent ev;
-  ev.source = sid;
-  ev.seq = src.next_seq++;
-  const TimePoint rt = line_raise_time_[line];
-  ev.raise_time = rt != TimePoint::max() ? rt : now();
-  ev.th_start = now();
-  ev.arrived_in_own_slot = !interpose_ &&
-                           current_partition_ == src.config.subscriber &&
-                           slot_owner() == src.config.subscriber;
-  trace(TracePoint::kTopEnter, TraceCategory::kTopHandler, src.config.subscriber, sid,
-        ev.seq);
-  run_hv_step(hw::WorkCategory::kTopHandler, src.config.c_top,
-              [this, sid, ev] { finish_top_handler(sid, ev); });
-}
-
-void Hypervisor::finish_top_handler(IrqSourceId sid, IrqEvent event) {
-  Source& src = sources_[sid];
-  Partition& subscriber = *partitions_[src.config.subscriber];
-  trace(TracePoint::kTopExit, TraceCategory::kTopHandler, src.config.subscriber, sid,
-        event.seq);
-
-  // The monitor observes *every* activation of the source (Algorithm 1 runs
-  // per IRQ); its admission verdict is only consulted -- and its runtime
-  // cost C_Mon only paid -- on the foreign-slot path of Fig. 4b.
-  bool admitted = false;
-  if (src.monitor != nullptr) {
-    admitted = src.monitor->record_and_check(event.raise_time);
-    if (trace_.ring().enabled()) {
-      const auto distance = src.monitor->last_observed_distance();
-      trace(admitted ? TracePoint::kMonitorAdmit : TracePoint::kMonitorDeny,
-            TraceCategory::kMonitor, src.config.subscriber, sid,
-            distance ? static_cast<std::uint64_t>(distance->count_ns()) : obs::kNoValue,
-            event.seq);
+void Hypervisor::service_batch() {
+  auto& intc = platform_.intc();
+  batch_.clear();
+  const TimePoint t0 = now();
+  Duration total_top;
+  // Collect latched device lines in priority order (lowest line first),
+  // acknowledging each -- the batched top half runs all their top handlers
+  // back-to-back in this one IRQ-context entry. A batch limit of 1
+  // reproduces the unbatched hypervisor exactly: remaining latches are
+  // re-delivered by the controller when interrupts re-enable.
+  for (std::size_t w = 0; w < intc.num_words() && batch_.count < batch_limit_; ++w) {
+    std::uint64_t m = intc.pending_word(w);
+    while (m != 0 && batch_.count < batch_limit_) {
+      const auto line = static_cast<hw::IrqLine>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(m)));
+      m &= m - 1;
+      if (line == tdma_line_) continue;  // serviced alone, never batched
+      intc.acknowledge(line);
+      const IrqSourceId sid = lines_.at(line);
+      assert(sid != kInvalidSource && "IRQ on a line without a source");
+      BatchItem& item = batch_.push();
+      item.source = sid;
+      IrqEvent& ev = item.event;
+      ev.source = sid;
+      ev.seq = srcs_.next_seq[sid]++;
+      const TimePoint rt = intc.raise_time(line);
+      // TimePoint::max() marks "never raised" (e.g. no clock attached);
+      // fall back to the service instant.
+      ev.raise_time = rt != TimePoint::max() ? rt : t0;
+      ev.th_start = t0;
+      ev.arrived_in_own_slot = !interpose_ &&
+                               current_partition_ == srcs_.subscriber[sid] &&
+                               slot_owner() == srcs_.subscriber[sid];
+      trace(TracePoint::kTopEnter, TraceCategory::kTopHandler, srcs_.subscriber[sid],
+            sid, ev.seq);
+      total_top += srcs_.c_top[sid];
     }
   }
-  event.admitted_interpose = admitted;
+  assert(batch_.count > 0 && "irq_entry without a serviceable line");
+  irq_path_stats_.serviced += batch_.count;
+  ++irq_path_stats_.batches;
+  if (batch_.count > 1) irq_path_stats_.batched_irqs += batch_.count;
+  // The whole top half and the Fig. 4 decision are computed here, at entry
+  // time: every decision input is frozen while interrupts stay disabled
+  // (unrelated simulator events that run before Ta touch neither monitor,
+  // queue, nor engine state), so finish_top_batch() only schedules the one
+  // continuation at the instant the step-by-step chain would have ended.
+  platform_.cpu().retire_duration(hw::WorkCategory::kTopHandler, total_top);
+  finish_top_batch(t0 + total_top);
+}
 
-  if (!subscriber.irq_queue().push(event)) {
-    trace(TracePoint::kIrqDrop, TraceCategory::kIrq, src.config.subscriber, sid,
-          event.seq, subscriber.irq_queue().drops());
-    health_.report(HealthEvent{now(), HealthEventKind::kIrqQueueOverflow,
-                               src.config.subscriber, sid});
-  } else {
-    trace(TracePoint::kIrqPush, TraceCategory::kIrq, src.config.subscriber, sid,
-          event.seq, subscriber.irq_queue().size());
+void Hypervisor::finish_top_batch(TimePoint ta) {
+  // Phase 1 -- per activation, in line-priority order: the monitor observes
+  // *every* activation of its source (Algorithm 1 runs per IRQ) and the
+  // event enters the subscriber's queue. The verdict is only consulted --
+  // and C_Mon only paid -- on the foreign-slot path of Fig. 4b below.
+  // State commits here (nothing else can observe it while interrupts stay
+  // disabled); the trace records and health reports are emitted by the
+  // fused continuation via emit_batch_records(ta), so the ring order
+  // matches the step-by-step chain even when unrelated events (e.g. fault
+  // injections) land between entry and Ta.
+  for (std::size_t i = 0; i < batch_.count; ++i) {
+    BatchItem& item = batch_.items[i];
+    const IrqSourceId sid = item.source;
+    IrqEvent& ev = item.event;
+
+    bool admitted = false;
+    mon::ActivationMonitor* monitor = srcs_.monitor[sid];
+    if (monitor != nullptr) admitted = monitor->record_and_check(ev.raise_time);
+    ev.admitted_interpose = admitted;
+    item.admitted = admitted ? 1 : 0;
+
+    Partition& subscriber = partitions_[srcs_.subscriber[sid]];
+    if (!subscriber.irq_queue().push(ev)) {
+      item.dropped = 1;
+      item.queue_stat = subscriber.irq_queue().drops();
+    } else {
+      item.dropped = 0;
+      item.queue_stat = subscriber.irq_queue().size();
+    }
   }
 
-  if (event.arrived_in_own_slot) {
-    ++irq_path_stats_.direct;
-    return_to_partition();  // direct handling: queue drains on return
+  // Phase 2 -- route every item and commit the Fig. 4b decisions. All
+  // inputs (engine state, guest vIRQ masks, backlog) are frozen while
+  // interrupts stay disabled, so deciding here and applying in one fused
+  // continuation is equivalent to the unbatched step-by-step chain.
+  const bool interposing = mode_ == TopHandlerMode::kInterposing;
+  std::size_t num_checked = 0;
+  int winner = -1;
+  bool engine_busy = interpose_.has_value() || slot_switch_pending_;
+  for (std::size_t i = 0; i < batch_.count; ++i) {
+    BatchItem& item = batch_.items[i];
+    item.checked = 0;
+    item.winner = 0;
+    const PartitionId sub = srcs_.subscriber[item.source];
+    if (item.event.arrived_in_own_slot) {
+      ++irq_path_stats_.direct;  // direct handling: queue drains on return
+      continue;
+    }
+    if (!interposing || srcs_.monitor[item.source] == nullptr) {
+      continue;  // delayed handling (Fig. 4a)
+    }
+    item.checked = 1;
+    ++num_checked;
+    ++irq_path_stats_.monitor_checked;
+    if (item.admitted == 0) {
+      item.deny_reason = static_cast<std::uint8_t>(obs::InterposeDenyReason::kMonitor);
+    } else if (engine_busy) {
+      // Only one interposition at a time; an admitted event that meets a
+      // busy engine falls back to delayed handling.
+      item.deny_reason = static_cast<std::uint8_t>(obs::InterposeDenyReason::kEngineBusy);
+    } else if (!partitions_[sub].virtual_irq_enabled()) {
+      // The subscriber guest masked its virtual interrupts (critical
+      // section); interposing would deliver into it.
+      item.deny_reason = static_cast<std::uint8_t>(obs::InterposeDenyReason::kGuestMasked);
+    } else if (partitions_[sub].bh_in_progress) {
+      // The subscriber still has a partially executed bottom handler (e.g.
+      // one that straddled its slot boundary). A budget cannot guarantee
+      // its completion, and resuming it in a foreign slot would chain stale
+      // work into other partitions' time; deny and let it finish in its own
+      // slot.
+      item.deny_reason = static_cast<std::uint8_t>(obs::InterposeDenyReason::kBacklog);
+    } else {
+      item.winner = 1;
+      winner = static_cast<int>(i);
+      engine_busy = true;  // later admitted items in this batch see a busy engine
+    }
+  }
+
+  if (num_checked == 0) {
+    // Nothing consults the monitor verdicts: the sequence ends at Ta.
+    platform_.simulator().schedule_after(ta - now(), [this, ta] {
+      emit_batch_records(ta);
+      return_to_partition();
+    });
     return;
   }
-  if (mode_ == TopHandlerMode::kOriginal || src.monitor == nullptr) {
-    return_to_partition();  // delayed handling (Fig. 4a)
-    return;
-  }
 
-  // Modified top handler (Fig. 4b): pay the monitoring function, then decide.
-  ++irq_path_stats_.monitor_checked;
-  run_hv_step(
-      hw::WorkCategory::kMonitor, overheads_.monitor_cost(),
-      [this, sid, admitted, raise_time = event.raise_time, seq = event.seq] {
-        const PartitionId subscriber_id = sources_[sid].config.subscriber;
-        const auto deny = [this, sid, subscriber_id, seq](obs::InterposeDenyReason r) {
-          trace(TracePoint::kInterposeDeny, TraceCategory::kMonitor, subscriber_id, sid,
-                static_cast<std::uint64_t>(r), seq);
-        };
-        if (!admitted) {
+  const Duration mon_cost =
+      overheads_.monitor_cost() * static_cast<std::int64_t>(num_checked);
+  platform_.cpu().retire_duration(hw::WorkCategory::kMonitor, mon_cost);
+
+  // Counters and deny traces/health reports are applied in the continuation
+  // (at the instant the unbatched chain would have applied them); the batch
+  // itself stays untouched until then -- interrupts are disabled, so no
+  // other IRQ entry can reuse it.
+  const auto apply_denies = [this](TimePoint t_decide) {
+    for (std::size_t i = 0; i < batch_.count; ++i) {
+      const BatchItem& item = batch_.items[i];
+      if (item.checked == 0 || item.winner != 0) continue;
+      const auto reason = static_cast<obs::InterposeDenyReason>(item.deny_reason);
+      const PartitionId sub = srcs_.subscriber[item.source];
+      trace_at(t_decide, TracePoint::kInterposeDeny, TraceCategory::kMonitor, sub,
+               item.source, static_cast<std::uint64_t>(reason), item.event.seq);
+      switch (reason) {
+        case obs::InterposeDenyReason::kMonitor:
           ++irq_path_stats_.denied_by_monitor;
-          deny(obs::InterposeDenyReason::kMonitor);
-          health_.report(HealthEvent{now(), HealthEventKind::kMonitorViolation,
-                                     subscriber_id, sid});
-          return_to_partition();
-          return;
-        }
-        if (interpose_ || slot_switch_pending_) {
-          // Only one interposition at a time; an admitted event that
-          // meets a busy engine falls back to delayed handling.
+          health_.report(HealthEvent{now(), HealthEventKind::kMonitorViolation, sub,
+                                     item.source});
+          break;
+        case obs::InterposeDenyReason::kEngineBusy:
           ++irq_path_stats_.denied_engine_busy;
-          deny(obs::InterposeDenyReason::kEngineBusy);
-          return_to_partition();
-          return;
-        }
-        if (!partitions_[subscriber_id]->virtual_irq_enabled()) {
-          // The subscriber guest masked its virtual interrupts
-          // (critical section); interposing would deliver into it.
+          break;
+        case obs::InterposeDenyReason::kGuestMasked:
           ++irq_path_stats_.denied_guest_masked;
-          deny(obs::InterposeDenyReason::kGuestMasked);
-          return_to_partition();
-          return;
-        }
-        if (partitions_[subscriber_id]->bh_in_progress) {
-          // The subscriber still has a partially executed bottom
-          // handler (e.g. one that straddled its slot boundary). A
-          // budget cannot guarantee its completion, and resuming it
-          // in a foreign slot would chain stale work into other
-          // partitions' time; deny and let it finish in its own slot.
+          break;
+        case obs::InterposeDenyReason::kBacklog:
           ++irq_path_stats_.denied_backlog;
-          deny(obs::InterposeDenyReason::kBacklog);
-          return_to_partition();
-          return;
+          break;
+        case obs::InterposeDenyReason::kCount_:
+          assert(false);
+          break;
+      }
+    }
+  };
+
+  const TimePoint tb = ta + mon_cost;
+  if (winner < 0) {
+    // Deny-only batch: the monitoring functions end the sequence at
+    // Tb = Ta + n*C_Mon, where the denies land and control returns.
+    platform_.simulator().schedule_after(tb - now(), [this, ta, tb, apply_denies] {
+      emit_batch_records(ta);
+      apply_denies(tb);
+      return_to_partition();
+    });
+    return;
+  }
+
+  // Admitted winner: monitoring function(s), scheduler manipulation and the
+  // context switch into the subscriber collapse into one fused continuation
+  // at Td = Ta + n*C_Mon + C_sched + C_ctx. The intermediate decision
+  // instant Tb = Ta + n*C_Mon is preserved in the trace (the interference
+  // oracle replays kInterposeStart raise times against I(dt)).
+  platform_.cpu().retire_duration(hw::WorkCategory::kSchedManipulation,
+                                  overheads_.sched_manipulation_cost());
+  retire_context_switch();
+  const TimePoint td =
+      tb + overheads_.sched_manipulation_cost() + overheads_.context_switch_cost();
+  platform_.simulator().schedule_after(
+      td - now(),
+      [this, ta, tb, apply_denies, win = static_cast<std::size_t>(winner)] {
+        emit_batch_records(ta);
+        apply_denies(tb);
+        const BatchItem& item = batch_.items[win];
+        const IrqSourceId sid = item.source;
+        const PartitionId target = srcs_.subscriber[sid];
+        ++irq_path_stats_.interpose_started;
+        // The admitted activation's *raise* time rides in arg0: the
+        // interference oracle replays these against the I(dt) bound, and
+        // raise times -- not the (overhead-shifted) context-switch instants
+        // -- are what the delta^- condition constrains.
+        trace_at(tb, TracePoint::kInterposeStart, TraceCategory::kInterpose, target,
+                 sid, static_cast<std::uint64_t>(item.event.raise_time.count_ns()),
+                 item.event.seq);
+        ++ctx_stats_.interpose_enter;
+        interpose_ = Interpose{current_partition_, sid, srcs_.c_bottom[sid]};
+        current_partition_ = target;
+        trace(TracePoint::kInterposeEnter, TraceCategory::kInterpose, target, sid);
+        if (context_hook_) {
+          context_hook_(ContextChange{now(), current_partition_,
+                                      Reason::kInterposeEnter});
         }
-        start_interpose(sid, raise_time, seq);
+        return_to_partition();
       });
 }
 
-void Hypervisor::start_interpose(IrqSourceId sid, TimePoint raise_time,
-                                 std::uint64_t seq) {
-  assert(hv_busy_ && !interpose_);
-  ++irq_path_stats_.interpose_started;
-  const PartitionId target = sources_[sid].config.subscriber;
-  // The admitted activation's *raise* time rides in arg0: the interference
-  // oracle replays these against the I(dt) bound, and raise times -- not the
-  // (overhead-shifted) context-switch instants -- are what the delta^-
-  // condition constrains.
-  trace(TracePoint::kInterposeStart, TraceCategory::kInterpose, target, sid,
-        static_cast<std::uint64_t>(raise_time.count_ns()), seq);
-  run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.sched_manipulation_cost(),
-              [this, sid, target] {
-                ++ctx_stats_.interpose_enter;
-                context_switch_step([this, sid, target] {
-                  interpose_ = Interpose{current_partition_, sid,
-                                         sources_[sid].config.c_bottom};
-                  current_partition_ = target;
-                  trace(TracePoint::kInterposeEnter, TraceCategory::kInterpose, target,
-                        sid);
-                  if (context_hook_) {
-                    context_hook_(ContextChange{now(), current_partition_,
-                                                Reason::kInterposeEnter});
-                  }
-                  return_to_partition();
-                });
-              });
+void Hypervisor::emit_batch_records(TimePoint ta) {
+  for (std::size_t i = 0; i < batch_.count; ++i) {
+    const BatchItem& item = batch_.items[i];
+    const IrqSourceId sid = item.source;
+    const PartitionId sub = srcs_.subscriber[sid];
+    const IrqEvent& ev = item.event;
+    trace_at(ta, TracePoint::kTopExit, TraceCategory::kTopHandler, sub, sid, ev.seq);
+    mon::ActivationMonitor* monitor = srcs_.monitor[sid];
+    if (monitor != nullptr && trace_.ring().enabled()) {
+      // The distance is still the one observed for this activation: each
+      // monitor is recorded at most once per batch (one source per line)
+      // and nothing re-records it before this continuation runs.
+      const auto distance = monitor->last_observed_distance();
+      trace_at(ta,
+               item.admitted != 0 ? TracePoint::kMonitorAdmit
+                                  : TracePoint::kMonitorDeny,
+               TraceCategory::kMonitor, sub, sid,
+               distance ? static_cast<std::uint64_t>(distance->count_ns())
+                        : obs::kNoValue,
+               ev.seq);
+    }
+    if (item.dropped != 0) {
+      trace_at(ta, TracePoint::kIrqDrop, TraceCategory::kIrq, sub, sid, ev.seq,
+               item.queue_stat);
+      health_.report(HealthEvent{ta, HealthEventKind::kIrqQueueOverflow, sub, sid});
+    } else {
+      trace_at(ta, TracePoint::kIrqPush, TraceCategory::kIrq, sub, sid, ev.seq,
+               item.queue_stat);
+    }
+  }
 }
 
 void Hypervisor::end_interpose() {
@@ -381,23 +506,59 @@ void Hypervisor::end_interpose() {
 }
 
 void Hypervisor::service_tdma_tick() {
-  run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.tdma_tick_cost(), [this] {
-    // A boundary that lands inside a bottom handler -- interposed or not --
-    // is deferred until the handler's remaining budget (<= C_BH) elapses.
-    // The next slot is shortened by the deferral; this is the same bounded
-    // interference as Eq. 14 and keeps bottom handlers atomic w.r.t. slot
-    // boundaries (no partially executed handler ever leaks across slots).
-    if (interpose_ || partitions_[current_partition_]->bh_in_progress) {
-      slot_switch_pending_ = true;
-      ++irq_path_stats_.deferred_slot_switches;
-      trace(TracePoint::kSlotDeferred, TraceCategory::kScheduler, current_partition_);
-      health_.report(HealthEvent{now(), HealthEventKind::kDeferredBoundary,
-                                 current_partition_, UINT32_MAX});
-      return_to_partition();
-      return;
-    }
-    do_slot_switch();
-  });
+  // A boundary that lands inside a bottom handler -- interposed or not --
+  // is deferred until the handler's remaining budget (<= C_BH) elapses.
+  // The next slot is shortened by the deferral; this is the same bounded
+  // interference as Eq. 14 and keeps bottom handlers atomic w.r.t. slot
+  // boundaries (no partially executed handler ever leaks across slots).
+  // The defer/switch decision commits here: its inputs cannot change while
+  // interrupts stay disabled.
+  if (interpose_ || partitions_[current_partition_].bh_in_progress) {
+    run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.tdma_tick_cost(),
+                [this] {
+                  slot_switch_pending_ = true;
+                  ++irq_path_stats_.deferred_slot_switches;
+                  trace(TracePoint::kSlotDeferred, TraceCategory::kScheduler,
+                        current_partition_);
+                  health_.report(HealthEvent{now(), HealthEventKind::kDeferredBoundary,
+                                             current_partition_, UINT32_MAX});
+                  return_to_partition();
+                });
+    return;
+  }
+  // Regular switch: tick bookkeeping and the context switch fuse into one
+  // continuation at T2 = now + C_tick + C_ctx. Fusing is only valid when the
+  // timer re-arm for the *next* boundary stays in the future past T2 --
+  // a next slot shorter than the switch overhead degenerates to an immediate
+  // re-fire whose latching order the two-step path defines, so fall back.
+  const auto& slots = scheduler_->slots();
+  const TimePoint next_boundary =
+      scheduler_->current_boundary() +
+      slots[(scheduler_->current_index() + 1) % slots.size()].length;
+  const TimePoint t2 = now() + overheads_.tdma_tick_cost() + overheads_.context_switch_cost();
+  if (next_boundary <= t2) {
+    run_hv_step(hw::WorkCategory::kSchedManipulation, overheads_.tdma_tick_cost(),
+                [this] { do_slot_switch(); });
+    return;
+  }
+  const PartitionId next = scheduler_->advance();
+  tdma_timer_->program_at(next_boundary);
+  assert(next_boundary == scheduler_->current_boundary());
+  platform_.cpu().retire_duration(hw::WorkCategory::kSchedManipulation,
+                                  overheads_.tdma_tick_cost());
+  retire_context_switch();
+  platform_.simulator().schedule_after(
+      t2 - now(), [this, next, slot_index = scheduler_->current_index(),
+                   cycles = scheduler_->cycles_completed()] {
+        ++ctx_stats_.tdma;
+        current_partition_ = next;
+        trace(TracePoint::kSlotSwitch, TraceCategory::kScheduler, next, obs::kNoId,
+              slot_index, cycles);
+        if (context_hook_) {
+          context_hook_(ContextChange{now(), current_partition_, Reason::kTdmaSwitch});
+        }
+        return_to_partition();
+      });
 }
 
 void Hypervisor::do_slot_switch() {
@@ -420,6 +581,50 @@ void Hypervisor::do_slot_switch() {
   });
 }
 
+// --- direct delivery (UINTC-style) -------------------------------------------
+
+void Hypervisor::on_direct_delivery(hw::IrqLine line, TimePoint raise_time) {
+  assert(started_);
+  const IrqSourceId sid = lines_.at(line);
+  assert(sid != kInvalidSource && "direct delivery on a line without a source");
+  const PartitionId sub = srcs_.subscriber[sid];
+  const std::uint64_t seq = srcs_.next_seq[sid]++;
+  const TimePoint delivered = now();
+  ++irq_path_stats_.direct_hw;
+  // Shadow channel: the monitor observes the activation (Algorithm 1 still
+  // records every event) but its verdict gates nothing -- direct-delivery
+  // hardware does not consult it.
+  mon::ActivationMonitor* monitor = srcs_.monitor[sid];
+  if (monitor != nullptr) (void)monitor->record_and_check(raise_time);
+  trace(TracePoint::kDirectDeliver, TraceCategory::kIrq, sub, sid,
+        static_cast<std::uint64_t>(raise_time.count_ns()), seq);
+  // The bottom handler runs to completion on the dedicated delivery path,
+  // modelled as overlapping the TDMA schedule (it steals no partition CPU
+  // time and defers no slot boundary).
+  platform_.simulator().schedule_after(
+      srcs_.c_bottom[sid], [this, sid, sub, seq, raise_time, delivered] {
+        trace(TracePoint::kDirectComplete, TraceCategory::kIrq, sub, sid, seq);
+        Partition& p = partitions_[sub];
+        p.count_bh_completion();
+        CompletedIrq rec;
+        rec.source = sid;
+        rec.seq = seq;
+        rec.raise_time = raise_time;
+        rec.th_start = delivered;
+        rec.bh_end = now();
+        rec.handling = stats::HandlingClass::kDirectHw;
+        if (completion_hook_) completion_hook_(rec);
+        if (p.client() != nullptr) {
+          IrqEvent ev;
+          ev.source = sid;
+          ev.seq = seq;
+          ev.raise_time = raise_time;
+          ev.th_start = delivered;
+          p.client()->on_bottom_handler_complete(ev);
+        }
+      });
+}
+
 // --- partition context --------------------------------------------------------
 
 void Hypervisor::return_to_partition() {
@@ -440,12 +645,12 @@ void Hypervisor::dispatch_partition_work() {
   assert(!hv_busy_);
   assert(!running_);
   cpu_idle_ = false;
-  Partition& p = *partitions_[current_partition_];
+  Partition& p = partitions_[current_partition_];
 
   auto pop_bh = [this, &p] {
     IrqEvent ev = p.irq_queue().pop();
-    const auto& cfg = sources_[ev.source].config;
-    p.bh_in_progress = WorkUnit{hw::WorkCategory::kBottomHandler, cfg.c_bottom, nullptr, ev};
+    p.bh_in_progress = WorkUnit{hw::WorkCategory::kBottomHandler,
+                                srcs_.c_bottom[ev.source], nullptr, ev};
     trace(TracePoint::kIrqPop, TraceCategory::kIrq, p.id(), ev.source, ev.seq,
           p.irq_queue().size());
     trace(TracePoint::kBottomStart, TraceCategory::kBottom, p.id(), ev.source, ev.seq);
@@ -498,10 +703,30 @@ void Hypervisor::dispatch_partition_work() {
 
   WorkUnit& w = slot == WorkSlot::kBottomHandler ? *p.bh_in_progress : *p.saved_guest_work;
   Duration slice = w.remaining;
-  if (interpose_) slice = std::min(slice, interpose_->budget_left);
+  bool boundary_capped = false;
+  if (interpose_) {
+    slice = std::min(slice, interpose_->budget_left);
+  } else if (slot == WorkSlot::kGuest) {
+    // Cap open-ended guest chunks at the current slot boundary: the TDMA
+    // tick preempts there anyway (its timer event was inserted earlier, so
+    // it wins the same-instant FIFO order), and a far-future completion
+    // would churn the event core's far heap on every preemption.
+    const TimePoint boundary = scheduler_->current_boundary();
+    if (boundary > now() && boundary - now() < slice) {
+      slice = boundary - now();
+      boundary_capped = true;
+    }
+  }
   running_ = Running{current_partition_, slot, now(), slice, {}};
-  running_->completion =
-      platform_.simulator().schedule_after(slice, [this] { on_slice_complete(); });
+  // A boundary-capped slice needs no completion event: the always-armed TDMA
+  // tick preempts at (or, under fault-injected tick jitter, after) the
+  // boundary, and preemption accounting sums to the same totals either way.
+  // Everything that tears running_ down cancels via EventId, which is a safe
+  // no-op on the default (invalid) id.
+  if (!boundary_capped) {
+    running_->completion =
+        platform_.simulator().schedule_after(slice, [this] { on_slice_complete(); });
+  }
 }
 
 void Hypervisor::preempt_running() {
@@ -510,7 +735,7 @@ void Hypervisor::preempt_running() {
   running_.reset();
   platform_.simulator().cancel(r.completion);
   const Duration consumed = now() - r.started_at;
-  Partition& p = *partitions_[r.partition];
+  Partition& p = partitions_[r.partition];
   WorkUnit& w = r.slot == WorkSlot::kBottomHandler ? *p.bh_in_progress
                                                    : *p.saved_guest_work;
   w.remaining -= consumed;
@@ -563,7 +788,7 @@ void Hypervisor::on_slice_complete() {
   assert(running_);
   const Running r = *running_;
   running_.reset();
-  Partition& p = *partitions_[r.partition];
+  Partition& p = partitions_[r.partition];
   WorkUnit& w = r.slot == WorkSlot::kBottomHandler ? *p.bh_in_progress
                                                    : *p.saved_guest_work;
   w.remaining -= r.slice;
@@ -596,6 +821,14 @@ void Hypervisor::on_slice_complete() {
     dispatch_partition_work();
     return;
   }
+  // A guest chunk whose slice was capped at the slot boundary (see
+  // dispatch_partition_work) normally never fires -- the boundary tick
+  // preempts first -- but if it does, it is just an artificial chunk
+  // boundary: resume the remainder.
+  if (r.slot == WorkSlot::kGuest) {
+    dispatch_partition_work();
+    return;
+  }
   // Unfinished work with an expired slice only happens when the interpose
   // budget capped the slice: enforce the budget by ending the interposition;
   // the remainder continues in the subscriber's own slot.
@@ -608,9 +841,9 @@ void Hypervisor::on_slice_complete() {
 obs::TraceMeta Hypervisor::trace_meta() const {
   obs::TraceMeta meta;
   meta.partition_names.reserve(partitions_.size());
-  for (const auto& p : partitions_) meta.partition_names.push_back(p->name());
-  meta.source_names.reserve(sources_.size());
-  for (const auto& s : sources_) meta.source_names.push_back(s.config.name);
+  for (const auto& p : partitions_) meta.partition_names.push_back(p.name());
+  meta.source_names.reserve(source_configs_.size());
+  for (const auto& s : source_configs_) meta.source_names.push_back(s.name);
   return meta;
 }
 

@@ -28,10 +28,26 @@
 //    subscriber partition, lets exactly one bottom handler execute for at
 //    most its declared budget, and switches back (interposed handling).
 //
+// Hot-path structure: per-source and per-line state lives in struct-of-
+// arrays dispatch tables (hv/dispatch_table.hpp); every IRQ entry drains
+// *all* latched lines in one batched top-half pass (fixed-capacity batch,
+// no allocation), and the Fig. 4b decision chain is committed at the end
+// of the top half -- its inputs cannot change while interrupts are
+// disabled -- so monitor cost, scheduler manipulation and the context
+// switch collapse into a single simulator event at the correct instant.
+// Trace events keep their paper-exact timestamps via explicit-time emits.
+//
 // TDMA slot boundaries lie on a fixed grid (see TdmaScheduler). A boundary
 // that fires while an interposed bottom handler runs is deferred until the
 // handler's budget ends; the next slot is shortened by that deferral, which
 // is exactly the bounded interference of Eq. 14.
+//
+// UINTC-style direct delivery: sources flagged via set_direct_delivery()
+// bypass the hypervisor entirely -- the interrupt controller vectors them
+// straight to the subscriber after a fixed hardware cost, the bottom
+// handler runs to completion on the dedicated delivery path (modelled as
+// not perturbing the TDMA schedule), and the source's monitor observes the
+// activation through a shadow channel without gating anything.
 #pragma once
 
 #include <cassert>
@@ -42,6 +58,7 @@
 #include <utility>
 #include <vector>
 
+#include "hv/dispatch_table.hpp"
 #include "hv/health.hpp"
 #include "hv/ipc.hpp"
 #include "hv/overhead_model.hpp"
@@ -105,6 +122,9 @@ struct IrqPathStats {
   std::uint64_t denied_backlog = 0;      // admitted but a partial BH was pending
   std::uint64_t denied_guest_masked = 0; // admitted but the subscriber masked vIRQs
   std::uint64_t deferred_slot_switches = 0;
+  std::uint64_t direct_hw = 0;           // UINTC-style hardware deliveries
+  std::uint64_t batches = 0;             // batched top-half passes
+  std::uint64_t batched_irqs = 0;        // IRQs serviced in passes of size > 1
 };
 
 class Hypervisor {
@@ -128,6 +148,24 @@ class Hypervisor {
 
   void set_top_handler_mode(TopHandlerMode mode) { mode_ = mode; }
   [[nodiscard]] TopHandlerMode top_handler_mode() const { return mode_; }
+
+  /// Batched top-half draining: when enabled (default), one IRQ entry
+  /// services *every* latched line in a single top-half pass; when
+  /// disabled, lines are serviced one per entry exactly as the unbatched
+  /// hypervisor did (the controller re-delivers remaining latches).
+  void set_batched_top_half(bool on) {
+    batch_limit_ = on ? IrqBatch::kCapacity : 1;
+  }
+  [[nodiscard]] bool batched_top_half() const { return batch_limit_ > 1; }
+
+  /// UINTC-style direct delivery for a source: its line bypasses the
+  /// hypervisor (fixed hardware cost, no interposition, no slot wait); the
+  /// source's monitor still observes every activation via a shadow channel
+  /// but its verdict gates nothing. A platform-level scenario axis.
+  void set_direct_delivery(IrqSourceId source, bool on);
+  [[nodiscard]] bool direct_delivery(IrqSourceId source) const {
+    return srcs_.direct_hw.at(source) != 0;
+  }
 
   /// Hook invoked for every completed bottom handler.
   using CompletionHook = std::function<void(const CompletedIrq&)>;
@@ -192,21 +230,23 @@ class Hypervisor {
 
   // --- queries -------------------------------------------------------------
 
-  [[nodiscard]] Partition& partition(PartitionId p) { return *partitions_.at(p); }
-  [[nodiscard]] const Partition& partition(PartitionId p) const { return *partitions_.at(p); }
+  [[nodiscard]] Partition& partition(PartitionId p) { return partitions_.at(p); }
+  [[nodiscard]] const Partition& partition(PartitionId p) const {
+    return partitions_.at(p);
+  }
   [[nodiscard]] std::uint32_t num_partitions() const {
     return static_cast<std::uint32_t>(partitions_.size());
   }
   [[nodiscard]] const TdmaScheduler& scheduler() const { return *scheduler_; }
   [[nodiscard]] const OverheadModel& overheads() const { return overheads_; }
   [[nodiscard]] const IrqSourceConfig& irq_source(IrqSourceId s) const {
-    return sources_.at(s).config;
+    return source_configs_.at(s);
   }
   [[nodiscard]] const mon::ActivationMonitor* monitor(IrqSourceId s) const {
-    return sources_.at(s).monitor.get();
+    return owned_monitors_.at(s).get();
   }
   [[nodiscard]] mon::ActivationMonitor* monitor(IrqSourceId s) {
-    return sources_.at(s).monitor.get();
+    return owned_monitors_.at(s).get();
   }
 
   /// Partition whose context is currently loaded (differs from the slot
@@ -234,12 +274,6 @@ class Hypervisor {
   [[nodiscard]] const HealthMonitor& health() const { return health_; }
 
  private:
-  struct Source {
-    IrqSourceConfig config;
-    std::unique_ptr<mon::ActivationMonitor> monitor;
-    std::uint64_t next_seq = 0;
-  };
-
   /// Which storage slot of the partition the running work lives in.
   enum class WorkSlot : std::uint8_t { kBottomHandler, kGuest };
 
@@ -258,8 +292,8 @@ class Hypervisor {
   };
 
   // Hardware glue.
-  void on_line_raised(hw::IrqLine line);
   void irq_entry();
+  void on_direct_delivery(hw::IrqLine line, sim::TimePoint raise_time);
 
   // Hypervisor sequences (interrupts disabled). Templated so the
   // continuation lambda forwards straight into its event-queue slot --
@@ -275,18 +309,21 @@ class Hypervisor {
   template <typename F>
   void context_switch_step(F&& continuation) {
     assert(hv_busy_);
+    retire_context_switch();
+    platform_.simulator().schedule_after(overheads_.context_switch_cost(),
+                                         std::forward<F>(continuation));
+  }
+  void retire_context_switch() {
     const auto raw = overheads_.raw_context_switch_cost();
     platform_.cpu().retire_instructions(hw::WorkCategory::kContextSwitch,
                                         raw.invalidate_instructions);
     platform_.cpu().retire_cycles(hw::WorkCategory::kCacheWriteback, raw.writeback_cycles);
-    platform_.simulator().schedule_after(overheads_.context_switch_cost(),
-                                         std::forward<F>(continuation));
   }
-  void service_line(hw::IrqLine line);
+  void service_batch();
+  void finish_top_batch(sim::TimePoint ta);
+  void emit_batch_records(sim::TimePoint ta);
   void service_tdma_tick();
   void do_slot_switch();
-  void finish_top_handler(IrqSourceId sid, IrqEvent event);
-  void start_interpose(IrqSourceId sid, sim::TimePoint raise_time, std::uint64_t seq);
   void end_interpose();
 
   // Partition context.
@@ -306,22 +343,33 @@ class Hypervisor {
              std::uint64_t arg0 = 0, std::uint64_t arg1 = 0) {
     trace_.ring().emit(now().count_ns(), point, category, partition, source, arg0, arg1);
   }
+  /// Same, with an explicit timestamp: fused hot-path chains emit the
+  /// intermediate instants of the steps they collapsed.
+  void trace_at(sim::TimePoint t, obs::TracePoint point, obs::TraceCategory category,
+                std::uint32_t partition = obs::kNoId,
+                std::uint32_t source = obs::kNoId, std::uint64_t arg0 = 0,
+                std::uint64_t arg1 = 0) {
+    trace_.ring().emit(t.count_ns(), point, category, partition, source, arg0, arg1);
+  }
 
   hw::Platform& platform_;
   OverheadModel overheads_;
   sim::TraceLog trace_;
 
-  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<Partition> partitions_;
   std::unique_ptr<TdmaScheduler> scheduler_;
-  std::vector<Source> sources_;
-  // Per-line tables indexed by IrqLine (the controller has a small fixed
-  // number of lines); kInvalidSource marks lines without a source. The raise
-  // timestamp is valid whenever the line's latch is pending -- the raise
-  // observer runs before any delivery, so service_line always reads a fresh
-  // value for its line.
-  static constexpr IrqSourceId kInvalidSource = UINT32_MAX;
-  std::vector<IrqSourceId> line_to_source_;
-  std::vector<sim::TimePoint> line_raise_time_;
+
+  // Source state, split hot/cold: the dispatch tables hold everything the
+  // per-IRQ path reads (SoA, contiguous); names and monitor ownership stay
+  // here. kInvalidSource marks lines without a source.
+  static constexpr IrqSourceId kInvalidSource = LineTable::kNoSource;
+  std::vector<IrqSourceConfig> source_configs_;
+  std::vector<std::unique_ptr<mon::ActivationMonitor>> owned_monitors_;
+  SourceTable srcs_;
+  LineTable lines_;
+  IrqBatch batch_;
+  std::size_t batch_limit_ = IrqBatch::kCapacity;
+
   std::unique_ptr<IpcRouter> ipc_;
   SamplingPortBus ports_;
 

@@ -1,42 +1,9 @@
 #include "hv/irq_queue.hpp"
 
-#include <algorithm>
-#include <cassert>
-
 namespace rthv::hv {
 
-IrqQueue::IrqQueue(std::size_t capacity) : capacity_(capacity) {
+IrqQueue::IrqQueue(std::size_t capacity) : capacity_(capacity), slots_(capacity) {
   assert(capacity_ > 0);
-}
-
-bool IrqQueue::push(const IrqEvent& event) {
-  if (events_.size() >= capacity_) {
-    ++drops_;
-    if (on_drop_) on_drop_(event);
-    return false;
-  }
-  events_.push_back(event);
-  ++pushed_;
-  high_watermark_ = std::max(high_watermark_, events_.size());
-  return true;
-}
-
-IrqEvent IrqQueue::pop() {
-  assert(!events_.empty());
-  IrqEvent e = events_.front();
-  events_.pop_front();
-  return e;
-}
-
-std::size_t IrqQueue::clear() {
-  const std::size_t n = events_.size();
-  events_.clear();
-  return n;
-}
-
-const IrqEvent& IrqQueue::front() const {
-  assert(!events_.empty());
-  return events_.front();
 }
 
 }  // namespace rthv::hv

@@ -5,11 +5,16 @@
 // order is what rules out interference between bottom handlers of the same
 // source in the analysis (Section 4) and prevents out-of-order execution
 // of interposed IRQs (Section 5).
+//
+// Storage is a fixed-capacity ring buffer sized once at construction --
+// push/pop never allocate, matching both the real hypervisor (a static
+// ring per partition) and the no-hot-alloc rule for the IRQ path.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <vector>
 
 #include "hv/types.hpp"
 
@@ -22,7 +27,20 @@ class IrqQueue {
   explicit IrqQueue(std::size_t capacity = 64);
 
   /// Returns false (and counts a drop) when the queue is full.
-  bool push(const IrqEvent& event);
+  bool push(const IrqEvent& event) {
+    if (size_ >= capacity_) {
+      ++drops_;
+      if (on_drop_) on_drop_(event);
+      return false;
+    }
+    std::size_t tail = head_ + size_;
+    if (tail >= capacity_) tail -= capacity_;
+    slots_[tail] = event;
+    ++size_;
+    ++pushed_;
+    if (size_ > high_watermark_) high_watermark_ = size_;
+    return true;
+  }
 
   /// Observer invoked for every dropped event, after the drop is counted.
   /// Overflow must never pass silently: the owner wires this to an
@@ -32,14 +50,29 @@ class IrqQueue {
   void set_drop_observer(DropObserver observer) { on_drop_ = std::move(observer); }
 
   /// Pops the oldest event. Queue must not be empty.
-  IrqEvent pop();
+  IrqEvent pop() {
+    assert(size_ > 0);
+    const IrqEvent e = slots_[head_];
+    ++head_;
+    if (head_ >= capacity_) head_ = 0;
+    --size_;
+    return e;
+  }
 
   /// Discards all queued events (partition restart); returns how many.
-  std::size_t clear();
+  std::size_t clear() {
+    const std::size_t n = size_;
+    head_ = 0;
+    size_ = 0;
+    return n;
+  }
 
-  [[nodiscard]] const IrqEvent& front() const;
-  [[nodiscard]] bool empty() const { return events_.empty(); }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const IrqEvent& front() const {
+    assert(size_ > 0);
+    return slots_[head_];
+  }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
@@ -47,7 +80,9 @@ class IrqQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<IrqEvent> events_;
+  std::vector<IrqEvent> slots_;  // ring storage, sized once at construction
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
   DropObserver on_drop_;
   std::uint64_t drops_ = 0;
   std::uint64_t pushed_ = 0;

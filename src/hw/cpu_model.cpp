@@ -1,7 +1,5 @@
 #include "hw/cpu_model.hpp"
 
-#include <numeric>
-
 #include "core/checked.hpp"
 
 namespace rthv::hw {
@@ -49,9 +47,12 @@ sim::Duration CpuModel::instructions_to_duration(std::uint64_t instructions) con
 
 std::uint64_t CpuModel::duration_to_cycles(sim::Duration d) const {
   RTHV_PRECONDITION(!d.is_negative(), "hw/cycle-duration-nonnegative");
-  const std::uint64_t ps =
-      core::checked_mul(core::checked_cast<std::uint64_t>(d.count_ns(), "hw/ns-to-ps"),
-                        std::uint64_t{1000}, "hw/ns-to-ps");
+  const auto ns = static_cast<std::uint64_t>(d.count_ns());
+  // Fast path for every realistic duration: ns * 1000 stays below 2^64 for
+  // anything under ~213 simulated days, so the checked scaling is only
+  // needed past that. Same floor semantics as the checked path.
+  if (ns < UINT64_MAX / 1000) return (ns * 1000) / cycle_ps_;
+  const std::uint64_t ps = core::checked_mul(ns, std::uint64_t{1000}, "hw/ns-to-ps");
   return ps / cycle_ps_;
 }
 
@@ -66,18 +67,28 @@ void CpuModel::retire_instructions(WorkCategory c, std::uint64_t instructions) {
                        1000);
 }
 
-void CpuModel::retire_duration(WorkCategory c, sim::Duration d) {
-  retire_cycles(c, duration_to_cycles(d));
-}
-
 std::uint64_t CpuModel::cycles_in(WorkCategory c) const {
-  return cycles_[static_cast<std::size_t>(c)];
+  const auto i = static_cast<std::size_t>(c);
+  return core::checked_add(
+      cycles_[i],
+      duration_to_cycles(
+          sim::Duration::ns(core::checked_cast<std::int64_t>(
+              duration_ns_[i], "hw/duration-accounting"))),
+      "hw/cycle-accounting");
 }
 
 std::uint64_t CpuModel::total_cycles() const {
-  return std::accumulate(cycles_.begin(), cycles_.end(), std::uint64_t{0});
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cycles_.size(); ++i) {
+    total = core::checked_add(total, cycles_in(static_cast<WorkCategory>(i)),
+                              "hw/cycle-accounting");
+  }
+  return total;
 }
 
-void CpuModel::reset_accounting() { cycles_.fill(0); }
+void CpuModel::reset_accounting() {
+  cycles_.fill(0);
+  duration_ns_.fill(0);
+}
 
 }  // namespace rthv::hw

@@ -52,7 +52,17 @@ class CpuModel {
   /// does not advance time -- callers schedule the corresponding delay.
   void retire_cycles(WorkCategory c, std::uint64_t cycles);
   void retire_instructions(WorkCategory c, std::uint64_t instructions);
-  void retire_duration(WorkCategory c, sim::Duration d);
+  /// Duration-denominated retirement is the hot accounting path (every
+  /// timed hypervisor step and every executed work slice lands here), so it
+  /// only accumulates nanoseconds; the division into cycles happens once
+  /// per category on query. Cycle counts are therefore the floor of the
+  /// *summed* duration rather than a sum of per-call floors -- at least as
+  /// accurate, and identical whenever durations are cycle-aligned (every
+  /// paper overhead is).
+  void retire_duration(WorkCategory c, sim::Duration d) {
+    duration_ns_[static_cast<std::size_t>(c)] +=
+        static_cast<std::uint64_t>(d.count_ns());
+  }
 
   [[nodiscard]] std::uint64_t cycles_in(WorkCategory c) const;
   [[nodiscard]] std::uint64_t total_cycles() const;
@@ -64,6 +74,9 @@ class CpuModel {
   std::uint32_t cpi_milli_;
   std::uint64_t cycle_ps_;  // picoseconds per cycle, exact for 200MHz (5000ps)
   std::array<std::uint64_t, static_cast<std::size_t>(WorkCategory::kCount_)> cycles_{};
+  /// Duration-denominated retirement ledger (ns), folded into cycles_ on query.
+  std::array<std::uint64_t, static_cast<std::size_t>(WorkCategory::kCount_)>
+      duration_ns_{};
 };
 
 }  // namespace rthv::hw

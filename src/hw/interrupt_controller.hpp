@@ -11,6 +11,18 @@
 // the CPU runs with interrupts disabled (hypervisor IRQ context), raises
 // only latch; the hypervisor polls `highest_pending()` before returning to
 // partition context.
+//
+// Hot-path layout: per-line state lives in struct-of-arrays form (bitmask
+// words for latches, a flat raise-timestamp array) and delivery goes
+// through a raw function pointer. The std::function observers remain for
+// cold instrumentation (tests, health monitoring) but nothing on the
+// per-IRQ path requires one.
+//
+// Direct-delivery variant (UINTC-style): lines flagged for direct delivery
+// bypass the CPU IRQ entry entirely. A raise on such a line schedules a
+// fixed-cost hardware delivery event that clears the latch and invokes the
+// direct sink -- modelling interrupt-delivery hardware that vectors
+// straight to the subscriber without hypervisor interposition.
 #pragma once
 
 #include <bit>
@@ -20,6 +32,7 @@
 #include <optional>
 #include <vector>
 
+#include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::hw {
@@ -34,15 +47,34 @@ class InterruptController {
   /// controller will not re-invoke it until `set_cpu_irq_enabled(true)`.
   using IrqEntry = std::function<void()>;
 
+  /// Raw variant of the IRQ entry: a plain function pointer plus context,
+  /// invoked without std::function dispatch on the per-IRQ hot path.
+  using RawIrqEntry = void (*)(void*);
+
+  /// Sink for direct-delivery lines: invoked when the fixed hardware
+  /// delivery cost has elapsed after a raise. Runs outside any CPU IRQ
+  /// context (the whole point of the variant).
+  using RawDirectSink = void (*)(void*, IrqLine, sim::TimePoint raise_time);
+
   explicit InterruptController(std::uint32_t num_lines);
 
   [[nodiscard]] std::uint32_t num_lines() const { return num_lines_; }
 
-  void set_irq_entry(IrqEntry entry) { irq_entry_ = std::move(entry); }
+  /// Attaches the simulator so raises can be timestamped inline and direct
+  /// deliveries scheduled. The platform wires this; controllers constructed
+  /// standalone (unit tests) work without one, with raise_time() reporting
+  /// "never".
+  void set_clock(sim::Simulator* sim) { sim_ = sim; }
+
+  void set_irq_entry_raw(RawIrqEntry entry, void* ctx) {
+    irq_entry_raw_ = entry;
+    irq_entry_ctx_ = ctx;
+  }
+  void set_irq_entry(IrqEntry entry);
 
   /// Observer invoked whenever a line's pending latch becomes newly set
-  /// (before any delivery). Lets the hypervisor record hardware raise
-  /// timestamps even for IRQs latched while interrupts are disabled.
+  /// (before any delivery). The hypervisor reads raise_time() directly;
+  /// this hook is for tests and external instrumentation.
   using RaiseObserver = std::function<void(IrqLine)>;
   void set_raise_observer(RaiseObserver observer) { raise_observer_ = std::move(observer); }
 
@@ -55,6 +87,26 @@ class InterruptController {
   /// Enables/disables a line. Pending state is retained while disabled.
   void enable_line(IrqLine line, bool on);
   [[nodiscard]] bool line_enabled(IrqLine line) const;
+
+  // --- direct delivery (UINTC-style) ---------------------------------------
+
+  /// Marks a line for direct delivery: raises bypass the CPU IRQ entry and
+  /// instead invoke the direct sink after `direct_delivery_cost()`. Requires
+  /// a clock (set_clock) for scheduling.
+  void set_direct_delivery(IrqLine line, bool on);
+  [[nodiscard]] bool direct_delivery(IrqLine line) const;
+
+  /// Fixed hardware cost between a raise on a direct line and the sink
+  /// invocation (the UINTC delivery latency).
+  void set_direct_delivery_cost(sim::Duration cost) { direct_cost_ = cost; }
+  [[nodiscard]] sim::Duration direct_delivery_cost() const { return direct_cost_; }
+
+  void set_direct_sink_raw(RawDirectSink sink, void* ctx) {
+    direct_sink_ = sink;
+    direct_sink_ctx_ = ctx;
+  }
+
+  [[nodiscard]] std::uint64_t direct_deliveries() const { return direct_deliveries_; }
 
   /// A device raises a line. The pending latch is *not* counting: raising an
   /// already-pending line is lost, exactly like real IRQ flags (the paper
@@ -72,7 +124,12 @@ class InterruptController {
       return false;
     }
     set_bit(pending_, line, true);
+    if (sim_ != nullptr) raise_time_[line] = sim_->now();
     if (raise_observer_) raise_observer_(line);
+    if (bit(direct_, line)) {
+      deliver_direct(line);
+      return true;
+    }
     maybe_deliver();
     return true;
   }
@@ -87,6 +144,13 @@ class InterruptController {
   [[nodiscard]] bool pending(IrqLine line) const {
     assert(line < num_lines());
     return bit(pending_, line);
+  }
+
+  /// Timestamp of the most recent raise on `line` (valid while the latch is
+  /// pending; TimePoint::max() = never raised / no clock attached).
+  [[nodiscard]] sim::TimePoint raise_time(IrqLine line) const {
+    assert(line < num_lines());
+    return raise_time_[line];
   }
 
   /// Highest-priority (lowest-numbered) enabled pending line, if any.
@@ -104,6 +168,13 @@ class InterruptController {
     return std::nullopt;
   }
 
+  /// Bitmask of enabled pending lines in word `w` (64 lines per word);
+  /// the batched top-half path drains a whole word at a time.
+  [[nodiscard]] std::uint64_t pending_word(std::size_t w) const {
+    return pending_[w] & enabled_[w];
+  }
+  [[nodiscard]] std::size_t num_words() const { return pending_.size(); }
+
   /// CPU-side global interrupt enable. Re-enabling triggers delivery if
   /// anything is pending.
   void set_cpu_irq_enabled(bool on) {
@@ -119,17 +190,19 @@ class InterruptController {
 
  private:
   void maybe_deliver() {
-    if (delivering_ || !irq_entry_) return;
+    if (delivering_ || irq_entry_raw_ == nullptr) return;
     delivering_ = true;
     // The entry handler normally disables CPU interrupts and returns (the
     // hypervisor continues asynchronously); the loop also supports handlers
     // that re-enable interrupts synchronously and expect back-to-back
     // delivery of the remaining pending lines.
     while (cpu_irq_enabled_ && highest_pending().has_value()) {
-      irq_entry_();
+      irq_entry_raw_(irq_entry_ctx_);
     }
     delivering_ = false;
   }
+
+  void deliver_direct(IrqLine line);
 
   [[nodiscard]] bool bit(const std::vector<std::uint64_t>& words, IrqLine line) const {
     return ((words[line >> 6U] >> (line & 63U)) & 1U) != 0;
@@ -143,20 +216,30 @@ class InterruptController {
     }
   }
 
-  // Pending/enabled latches as bitmask words: priority resolution is a
-  // word-AND plus count-trailing-zeros instead of a per-line scan, matching
-  // how a real VIC priority tree resolves in O(1).
+  // Per-line state in struct-of-arrays form: pending/enabled/direct latches
+  // as bitmask words (priority resolution is a word-AND plus
+  // count-trailing-zeros instead of a per-line scan), raise timestamps and
+  // loss counters as flat arrays indexed by line.
   std::uint32_t num_lines_ = 0;
   std::vector<std::uint64_t> pending_;
   std::vector<std::uint64_t> enabled_;
+  std::vector<std::uint64_t> direct_;
+  std::vector<sim::TimePoint> raise_time_;
+  std::vector<std::uint64_t> lost_per_line_;
   bool cpu_irq_enabled_ = true;
   bool delivering_ = false;  // re-entrancy guard
-  IrqEntry irq_entry_;
+  sim::Simulator* sim_ = nullptr;
+  RawIrqEntry irq_entry_raw_ = nullptr;
+  void* irq_entry_ctx_ = nullptr;
+  IrqEntry irq_entry_box_;  // keeps a std::function entry alive for the raw path
+  RawDirectSink direct_sink_ = nullptr;
+  void* direct_sink_ctx_ = nullptr;
+  sim::Duration direct_cost_;
+  std::uint64_t direct_deliveries_ = 0;
   RaiseObserver raise_observer_;
   RaiseObserver lost_raise_observer_;
   std::uint64_t raises_ = 0;
   std::uint64_t lost_raises_ = 0;
-  std::vector<std::uint64_t> lost_per_line_;
 };
 
 }  // namespace rthv::hw

@@ -7,7 +7,11 @@ Platform::Platform(sim::Simulator& simulator, const PlatformConfig& config)
       cpu_(config.cpu_freq_hz, config.cpi_milli),
       intc_(config.num_irq_lines),
       memory_(config.ctx_invalidate_instructions, config.ctx_writeback_cycles),
-      timestamp_(simulator) {}
+      timestamp_(simulator) {
+  intc_.set_clock(&sim_);
+  intc_.set_direct_delivery_cost(
+      cpu_.cycles_to_duration(config.direct_delivery_cycles));
+}
 
 HwTimer& Platform::add_timer(IrqLine line) {
   timers_.push_back(std::make_unique<HwTimer>(sim_, intc_, line));

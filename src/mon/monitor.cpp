@@ -20,7 +20,7 @@ bool DeltaMinMonitor::record_and_check(sim::TimePoint now) {
 }
 
 DeltaVectorMonitor::DeltaVectorMonitor(DeltaVector deltas)
-    : deltas_(std::move(deltas)), tracebuffer_(deltas_.size()) {
+    : deltas_(std::move(deltas)) {
   RTHV_PRECONDITION(!deltas_.empty(), "mon/delta-vector-nonempty");
   // delta^- functions are non-decreasing in the span. Enforced in every
   // build mode: a decreasing vector silently weakens the interference bound
@@ -28,31 +28,13 @@ DeltaVectorMonitor::DeltaVectorMonitor(DeltaVector deltas)
   for (std::size_t i = 1; i < deltas_.size(); ++i) {
     RTHV_PRECONDITION(deltas_[i] >= deltas_[i - 1], "mon/delta-vector-monotone");
   }
+  delta_ns_.reserve(deltas_.size());
+  for (const auto d : deltas_) delta_ns_.push_back(d.count_ns());
+  win_ns_.assign(2 * deltas_.size(), 0);
 }
 
 bool DeltaVectorMonitor::peek(sim::TimePoint now) const {
-  for (std::size_t i = 0; i < count_; ++i) {
-    if (now - tracebuffer_[i] < deltas_[i]) return false;
-  }
-  return true;
-}
-
-void DeltaVectorMonitor::push(sim::TimePoint now) {
-  // Right-shift the tracebuffer and store the newest activation at [0]
-  // (Algorithm 1, lines 4-5).
-  for (std::size_t i = std::min(count_ + 1, tracebuffer_.size()); i-- > 1;) {
-    tracebuffer_[i] = tracebuffer_[i - 1];
-  }
-  tracebuffer_[0] = now;
-  if (count_ < tracebuffer_.size()) ++count_;
-}
-
-bool DeltaVectorMonitor::record_and_check(sim::TimePoint now) {
-  observe_arrival(now);
-  const bool admit = peek(now);
-  push(now);
-  count(admit);
-  return admit;
+  return conforms(now.count_ns());
 }
 
 DeltaVector scale_for_load_fraction(const DeltaVector& deltas, double fraction) {

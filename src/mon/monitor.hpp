@@ -19,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "mon/admit_kernel.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::mon {
@@ -36,6 +37,18 @@ class ActivationMonitor {
   /// handling is permitted for it.
   virtual bool record_and_check(sim::TimePoint now) = 0;
 
+  /// Batched form for the hypervisor's batched top half: records and judges
+  /// `n` activations in arrival order, exactly equivalent to n successive
+  /// record_and_check calls (verdicts[i] is the i-th call's result).
+  /// Implementations may override to keep their window state hot across the
+  /// batch; the default delegates so equivalence holds by construction.
+  virtual void record_and_check_batch(const sim::TimePoint* times, std::size_t n,
+                                      std::uint8_t* verdicts) {
+    for (std::size_t i = 0; i < n; ++i) {
+      verdicts[i] = record_and_check(times[i]) ? 1 : 0;
+    }
+  }
+
   [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
   [[nodiscard]] std::uint64_t denied() const { return denied_; }
   [[nodiscard]] std::uint64_t observed() const { return admitted_ + denied_; }
@@ -45,25 +58,35 @@ class ActivationMonitor {
   /// two activations have been observed. Observability only -- no monitor
   /// decision depends on it.
   [[nodiscard]] std::optional<sim::Duration> last_observed_distance() const {
+    if (!has_distance_) return std::nullopt;
     return last_distance_;
   }
 
  protected:
   /// Implementations call this from record_and_check for every activation,
-  /// admitted or not, *before* counting the verdict.
+  /// admitted or not, *before* counting the verdict. Branch-free on purpose:
+  /// this runs once per IRQ, so the distance is computed unconditionally
+  /// (garbage until the second activation, gated by has_distance_) instead
+  /// of behind a first-activation branch.
   void observe_arrival(sim::TimePoint now) {
-    if (has_last_arrival_) last_distance_ = now - last_arrival_;
+    last_distance_ = now - last_arrival_;
+    has_distance_ = has_last_arrival_;
     last_arrival_ = now;
     has_last_arrival_ = true;
   }
 
-  void count(bool admit) { (admit ? admitted_ : denied_)++; }
+  /// Branch-free verdict counting (both counters touched every activation).
+  void count(bool admit) {
+    admitted_ += admit;
+    denied_ += !admit;
+  }
 
  private:
   std::uint64_t admitted_ = 0;
   std::uint64_t denied_ = 0;
   sim::TimePoint last_arrival_;
-  std::optional<sim::Duration> last_distance_;
+  sim::Duration last_distance_;
+  bool has_distance_ = false;
   bool has_last_arrival_ = false;
 };
 
@@ -86,11 +109,39 @@ class DeltaMinMonitor final : public ActivationMonitor {
 };
 
 /// General l >= 1 monitor against a full delta^- vector.
+///
+/// The tracebuffer is a mirrored ring of 2l raw nanosecond stamps: logical
+/// entry i (0 = most recent) lives at win_ns_[head_ + i], each push
+/// decrements head_ (mod l) and writes the new stamp at both head_ and
+/// head_ + l. The l-entry window starting at head_ is therefore always
+/// contiguous and ordered, which is what lets record_and_check run the
+/// branchless admit kernel instead of Algorithm 1's shift loop -- no data
+/// moves per activation, two stores instead of l.
 class DeltaVectorMonitor final : public ActivationMonitor {
  public:
   explicit DeltaVectorMonitor(DeltaVector deltas);
 
-  bool record_and_check(sim::TimePoint now) override;
+  // Defined inline so the hot callers (and the admission micro-benchmarks)
+  // can keep the window base, delta pointer, and head index in registers
+  // across consecutive activations instead of reloading them per call.
+  bool record_and_check(sim::TimePoint now) override {
+    observe_arrival(now);
+    const std::int64_t t = now.count_ns();
+    const bool admit = conforms(t);
+    push(t);
+    count(admit);
+    return admit;
+  }
+
+  void record_and_check_batch(const sim::TimePoint* times, std::size_t n,
+                              std::uint8_t* verdicts) override {
+    // Same steps as n record_and_check calls, in order -- each activation is
+    // recorded before the next one is judged (Algorithm 1 per event), so
+    // equivalence with the scalar member holds by construction.
+    for (std::size_t i = 0; i < n; ++i) {
+      verdicts[i] = record_and_check(times[i]) ? 1 : 0;
+    }
+  }
 
   [[nodiscard]] const DeltaVector& deltas() const { return deltas_; }
   [[nodiscard]] std::size_t depth() const { return deltas_.size(); }
@@ -99,12 +150,30 @@ class DeltaVectorMonitor final : public ActivationMonitor {
   [[nodiscard]] bool peek(sim::TimePoint now) const;
 
  private:
-  void push(sim::TimePoint now);
+  /// Admission check against the current window (no recording). The warm-up
+  /// phase (fewer than l recorded activations) walks the partial window
+  /// scalar-wise; a full window dispatches on the process-wide kernel knob.
+  [[nodiscard]] bool conforms(std::int64_t now_ns) const {
+    const std::int64_t* win = win_ns_.data() + head_;
+    if (count_ == deltas_.size()) {
+      return admit_full(win, delta_ns_.data(), count_, now_ns);
+    }
+    return admit_full_scalar(win, delta_ns_.data(), count_, now_ns);
+  }
+
+  void push(std::int64_t now_ns) {
+    const std::size_t l = deltas_.size();
+    head_ = head_ == 0 ? l - 1 : head_ - 1;
+    win_ns_[head_] = now_ns;
+    win_ns_[head_ + l] = now_ns;
+    if (count_ < l) ++count_;
+  }
 
   DeltaVector deltas_;
-  // tracebuffer[0] is the most recent activation; filled up to `count_`.
-  std::vector<sim::TimePoint> tracebuffer_;
-  std::size_t count_ = 0;
+  std::vector<std::int64_t> delta_ns_;  // raw mirror of deltas_, same order
+  std::vector<std::int64_t> win_ns_;    // mirrored 2l tracebuffer ring
+  std::size_t head_ = 0;                // window start; logical [0] = newest
+  std::size_t count_ = 0;               // recorded activations, saturates at l
 };
 
 /// A monitor that admits everything (models "monitoring disabled" while

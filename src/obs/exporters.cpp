@@ -47,6 +47,8 @@ std::string_view to_string(TracePoint p) {
     case TracePoint::kHealth: return "health";
     case TracePoint::kInterposeStart: return "interpose-start";
     case TracePoint::kFaultInject: return "fault-inject";
+    case TracePoint::kDirectDeliver: return "direct-deliver";
+    case TracePoint::kDirectComplete: return "direct-complete";
     case TracePoint::kCount_: break;
   }
   return "?";
@@ -176,6 +178,8 @@ class ChromeWriter {
       case TracePoint::kIrqDrop:
       case TracePoint::kHealth:
       case TracePoint::kFaultInject:
+      case TracePoint::kDirectDeliver:
+      case TracePoint::kDirectComplete:
       case TracePoint::kCount_:
         emit_instant(kHypervisorTid, e);
         break;

@@ -10,6 +10,7 @@ std::string_view to_string(HandlingClass c) {
     case HandlingClass::kDirect: return "direct";
     case HandlingClass::kInterposed: return "interposed";
     case HandlingClass::kDelayed: return "delayed";
+    case HandlingClass::kDirectHw: return "direct-hw";
     case HandlingClass::kCount_: break;
   }
   return "?";
@@ -40,7 +41,7 @@ double LatencyRecorder::fraction(HandlingClass cls) const {
 
 void LatencyRecorder::write_summary(std::ostream& os) const {
   for (auto cls : {HandlingClass::kDirect, HandlingClass::kInterposed,
-                   HandlingClass::kDelayed}) {
+                   HandlingClass::kDelayed, HandlingClass::kDirectHw}) {
     os << to_string(cls) << " " << fraction(cls) * 100.0 << "% (" << count(cls) << ")";
     if (count(cls) > 0) {
       os << " avg " << of(cls).mean().as_us() << "us";

@@ -3,7 +3,9 @@
 // Every completed bottom-handler invocation is classified the way the paper
 // classifies them (Section 6.1): *direct* (arrived during the subscriber's
 // own slot), *interposed* (executed in a foreign slot via the monitored
-// path) or *delayed* (waited for the subscriber's next slot).
+// path) or *delayed* (waited for the subscriber's next slot). A fourth
+// class, *direct-hw*, covers the UINTC-style direct-delivery variant where
+// hardware vectors the IRQ past the hypervisor entirely.
 #pragma once
 
 #include <array>
@@ -15,7 +17,13 @@
 
 namespace rthv::stats {
 
-enum class HandlingClass : std::uint8_t { kDirect, kInterposed, kDelayed, kCount_ };
+enum class HandlingClass : std::uint8_t {
+  kDirect,
+  kInterposed,
+  kDelayed,
+  kDirectHw,  // UINTC-style hardware direct delivery (no hypervisor path)
+  kCount_,
+};
 
 [[nodiscard]] std::string_view to_string(HandlingClass c);
 

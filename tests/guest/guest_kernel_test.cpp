@@ -48,6 +48,16 @@ TEST(GuestKernelTest, QuantumChunksWork) {
   bg.period = Duration::zero();
   bg.quantum = Duration::us(30);
   k.add_task(bg);
+  // A second (dormant, event-driven) task gives the quantum something to
+  // do: chunk boundaries are where its activation would preempt. A kernel
+  // whose only task is the background load skips the chunking entirely --
+  // see SoleTaskIgnoresQuantum below.
+  GuestTaskConfig other;
+  other.name = "handler";
+  other.priority = 1;
+  other.budget = Duration::us(5);
+  other.event_driven = true;
+  k.add_task(other);
   k.start();
   // 30 + 30 + 30 + 10 = one full job.
   auto w1 = take(k, sim);
@@ -59,6 +69,29 @@ TEST(GuestKernelTest, QuantumChunksWork) {
   EXPECT_EQ(w4.remaining, Duration::us(10));
   w4.on_complete();
   EXPECT_EQ(k.jobs_completed(0), 1u);
+}
+
+TEST(GuestKernelTest, SoleTaskIgnoresQuantum) {
+  // The quantum bounds how long *another* task's release waits for a chunk
+  // boundary; with a single task there is no such release, so the whole
+  // remaining job is handed over as one unit (the hypervisor still preempts
+  // it at IRQs and slot boundaries) instead of one simulator event per
+  // quantum.
+  sim::Simulator sim;
+  GuestKernel k(sim, "g");
+  GuestTaskConfig bg;
+  bg.name = "bg";
+  bg.budget = Duration::us(100);
+  bg.period = Duration::zero();
+  bg.quantum = Duration::us(30);
+  k.add_task(bg);
+  k.start();
+  auto w = take(k, sim);
+  EXPECT_EQ(w.remaining, Duration::us(100));
+  w.on_complete();
+  EXPECT_EQ(k.jobs_completed(0), 1u);
+  // The background job re-arms for the next full budget.
+  EXPECT_EQ(take(k, sim).remaining, Duration::us(100));
 }
 
 TEST(GuestKernelTest, PeriodicTaskReleasesOnSchedule) {

@@ -1,0 +1,200 @@
+// Randomized differential tests for the admission kernels (tentpole part 2):
+// the branch-free AND-reduction (and, where the host supports it, the AVX2
+// instantiation) must produce bit-identical verdicts to the early-exit
+// scalar reference on every input, and the batched monitor API must be
+// indistinguishable from n scalar record_and_check calls -- verdicts,
+// admission counters, and observed-distance bookkeeping included.
+//
+// tests/run_sanitized.sh builds this suite under ASan+UBSan, so the kernel
+// differential doubles as a bounds/overflow probe over random windows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mon/admit_kernel.hpp"
+#include "mon/monitor.hpp"
+#include "sim/random.hpp"
+
+namespace rthv::mon {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+/// Restores the process-wide kernel knob on scope exit so a failing test
+/// cannot leak kScalar into unrelated tests in the same binary.
+class KnobGuard {
+ public:
+  KnobGuard() : saved_(admit_kernel()) {}
+  ~KnobGuard() { set_admit_kernel(saved_); }
+
+ private:
+  AdmitKernel saved_;
+};
+
+/// Random monotone non-decreasing delta vector of the given depth, with
+/// distances in the hundreds-of-microseconds range the paper's Appendix A
+/// tables use.
+DeltaVector random_deltas(sim::Xoshiro256& rng, std::size_t depth) {
+  DeltaVector deltas;
+  std::int64_t d = 10'000 + static_cast<std::int64_t>(rng.uniform_int(0, 200'000));
+  for (std::size_t k = 0; k < depth; ++k) {
+    deltas.push_back(Duration::ns(d));
+    d += static_cast<std::int64_t>(rng.uniform_int(0, 400'000));
+  }
+  return deltas;
+}
+
+/// Activation trace whose gaps hover around the consecutive-event distance
+/// `d0`: roughly half the activations land just inside the forbidden zone
+/// and half just outside (including exact-boundary gaps, which probe the
+/// >= edge of the predicate), so verdicts flip constantly.
+std::vector<TimePoint> near_saturation_trace(sim::Xoshiro256& rng, std::size_t n,
+                                             std::int64_t d0_ns) {
+  std::vector<TimePoint> out;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t roll = rng.uniform_int(0, 9);
+    std::int64_t gap;
+    if (roll == 0) {
+      gap = d0_ns;  // exactly on the boundary: must be admitted
+    } else if (roll <= 5) {
+      gap = d0_ns + static_cast<std::int64_t>(rng.uniform_int(0, d0_ns > 0 ? static_cast<std::uint64_t>(d0_ns) : 1));
+    } else {
+      gap = 1 + static_cast<std::int64_t>(
+                    rng.uniform_int(0, d0_ns > 1 ? static_cast<std::uint64_t>(d0_ns - 1) : 1));
+    }
+    t += gap;
+    out.push_back(TimePoint::at_ns(t));
+  }
+  return out;
+}
+
+TEST(AdmitKernelDifferentialTest, VectorMatchesScalarOnRandomWindows) {
+  sim::Xoshiro256 rng(0x5eed001);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    // Depths straddle kAvx2MinDepth so both the inlined AND-reduction and
+    // the AVX2 clone (full 4-lane steps plus scalar tail) get exercised.
+    const std::size_t l = 1 + rng.uniform_int(0, 23);
+    std::vector<std::int64_t> win(l);
+    std::vector<std::int64_t> delta(l);
+    std::int64_t now = static_cast<std::int64_t>(rng.uniform_int(0, 4'000'000'000));
+    for (std::size_t i = 0; i < l; ++i) {
+      win[i] = now - static_cast<std::int64_t>(rng.uniform_int(0, 2'000'000));
+      delta[i] = static_cast<std::int64_t>(rng.uniform_int(0, 2'000'000));
+    }
+    const bool scalar = admit_full_scalar(win.data(), delta.data(), l, now);
+    const bool vector = admit_full_vector(win.data(), delta.data(), l, now);
+    EXPECT_EQ(scalar, vector) << "trial " << trial << " depth " << l;
+#if RTHV_ADMIT_KERNEL_AVX2
+    if (detail::kHaveAvx2) {
+      const bool avx2 = admit_full_vector_avx2(win.data(), delta.data(), l, now);
+      EXPECT_EQ(scalar, avx2) << "trial " << trial << " depth " << l;
+    }
+#endif
+  }
+}
+
+TEST(AdmitKernelDifferentialTest, MonitorVerdictsIdenticalAcrossKernels) {
+  KnobGuard guard;
+  sim::Xoshiro256 rng(0x5eed002);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t depth = 1 + rng.uniform_int(0, 19);
+    const DeltaVector deltas = random_deltas(rng, depth);
+    const auto trace =
+        near_saturation_trace(rng, 3000, deltas.front().count_ns());
+
+    DeltaVectorMonitor vec_mon(deltas);
+    DeltaVectorMonitor sca_mon(deltas);
+    for (const auto t : trace) {
+      set_admit_kernel(AdmitKernel::kVector);
+      const bool v = vec_mon.record_and_check(t);
+      set_admit_kernel(AdmitKernel::kScalar);
+      const bool s = sca_mon.record_and_check(t);
+      ASSERT_EQ(v, s) << "trial " << trial << " at t=" << t.count_ns();
+    }
+    EXPECT_EQ(vec_mon.admitted(), sca_mon.admitted());
+    EXPECT_EQ(vec_mon.denied(), sca_mon.denied());
+    EXPECT_EQ(vec_mon.last_observed_distance(), sca_mon.last_observed_distance());
+  }
+}
+
+TEST(AdmitKernelDifferentialTest, BatchedMatchesScalarCallsOnRandomBatches) {
+  KnobGuard guard;
+  set_admit_kernel(AdmitKernel::kVector);
+  sim::Xoshiro256 rng(0x5eed003);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t depth = 1 + rng.uniform_int(0, 11);
+    const DeltaVector deltas = random_deltas(rng, depth);
+    const auto trace =
+        near_saturation_trace(rng, 4000, deltas.front().count_ns());
+
+    DeltaVectorMonitor batch_mon(deltas);
+    DeltaVectorMonitor single_mon(deltas);
+    std::size_t pos = 0;
+    while (pos < trace.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.uniform_int(0, 63), trace.size() - pos);
+      std::array<std::uint8_t, 64> verdicts{};
+      batch_mon.record_and_check_batch(trace.data() + pos, n, verdicts.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool single = single_mon.record_and_check(trace[pos + i]);
+        ASSERT_EQ(verdicts[i] != 0, single)
+            << "trial " << trial << " batch at " << pos << " item " << i;
+      }
+      pos += n;
+    }
+    EXPECT_EQ(batch_mon.admitted(), single_mon.admitted());
+    EXPECT_EQ(batch_mon.denied(), single_mon.denied());
+    EXPECT_EQ(batch_mon.last_observed_distance(), single_mon.last_observed_distance());
+  }
+}
+
+// Interleaving several monitors of different depths through the batch API
+// models the hypervisor gathering per-source runs out of one IRQ burst:
+// each monitor must judge exactly the subsequence addressed to it, with no
+// state bleed through the process-wide kernel knob.
+TEST(AdmitKernelDifferentialTest, InterleavedMonitorsStayIndependent) {
+  KnobGuard guard;
+  set_admit_kernel(AdmitKernel::kVector);
+  sim::Xoshiro256 rng(0x5eed004);
+  constexpr std::size_t kMonitors = 3;
+  std::vector<DeltaVector> deltas;
+  std::vector<std::unique_ptr<DeltaVectorMonitor>> batched;
+  std::vector<std::unique_ptr<DeltaVectorMonitor>> reference;
+  for (std::size_t m = 0; m < kMonitors; ++m) {
+    deltas.push_back(random_deltas(rng, 2 + 3 * m));
+    batched.push_back(std::make_unique<DeltaVectorMonitor>(deltas[m]));
+    reference.push_back(std::make_unique<DeltaVectorMonitor>(deltas[m]));
+  }
+  std::array<std::vector<TimePoint>, kMonitors> streams;
+  for (std::size_t m = 0; m < kMonitors; ++m) {
+    streams[m] = near_saturation_trace(rng, 1500, deltas[m].front().count_ns());
+  }
+  std::array<std::size_t, kMonitors> cursor{};
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t m = rng.uniform_int(0, kMonitors - 1);
+    const std::size_t left = streams[m].size() - cursor[m];
+    if (left == 0) continue;
+    const std::size_t n = std::min<std::size_t>(1 + rng.uniform_int(0, 15), left);
+    std::array<std::uint8_t, 16> verdicts{};
+    batched[m]->record_and_check_batch(streams[m].data() + cursor[m], n,
+                                       verdicts.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool single = reference[m]->record_and_check(streams[m][cursor[m] + i]);
+      ASSERT_EQ(verdicts[i] != 0, single) << "monitor " << m << " item " << i;
+    }
+    cursor[m] += n;
+  }
+  for (std::size_t m = 0; m < kMonitors; ++m) {
+    EXPECT_EQ(batched[m]->admitted(), reference[m]->admitted());
+    EXPECT_EQ(batched[m]->denied(), reference[m]->denied());
+  }
+}
+
+}  // namespace
+}  // namespace rthv::mon

@@ -34,6 +34,13 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 echo "== ASan + UBSan: fault-injection campaigns (ctest -L fault) =="
 ctest --test-dir build-asan --output-on-failure -L fault -j "$jobs"
 
+# The randomized batched-vs-scalar admission differential is the designated
+# sanitizer workout for the SIMD admit kernels: random windows and random
+# batch splits under ASan/UBSan probe every load the AND-reduction and the
+# AVX2 clone perform.
+echo "== ASan + UBSan: admission-kernel differential =="
+ctest --test-dir build-asan --output-on-failure -R 'AdmitKernelDifferentialTest' -j "$jobs"
+
 # Short benchmark runs under ASan/UBSan: the timer wheel's arena and bucket
 # links get exercised at benchmark-sized populations no unit test reaches.
 echo "== ASan + UBSan: perf smoke (ctest -L perf-smoke) =="

@@ -1,0 +1,9 @@
+// Fixture: the one file allowed to include <immintrin.h> -- the admission
+// kernel header pairs each intrinsic path with its scalar reference, and
+// the banned-include exemption is scoped to exactly this path. Must stay
+// quiet under the self-test.
+#pragma once
+
+#include <immintrin.h>  // exempt: this is src/mon/admit_kernel.hpp
+
+inline int fixture_simd_home() { return 0; }

@@ -1,0 +1,14 @@
+// Fixture: raw heap allocation in the monitor layer, which judges every
+// IRQ on the admission hot path; windows live in preallocated storage.
+#include <cstdlib>
+#include <new>
+
+long* fixture_monitor_allocations() {
+  long* window = new long[8];                      // rthv-lint-expect: no-hot-alloc
+  void* scratch = std::malloc(64);                 // rthv-lint-expect: no-hot-alloc
+  std::free(scratch);
+  alignas(long) static unsigned char buf[sizeof(long)];
+  long* inline_ok = ::new (buf) long(0);  // placement new: allowed
+  (void)inline_ok;
+  return window;
+}

@@ -1,0 +1,7 @@
+// Fixture: banned includes in the monitor layer -- wall-clock types must
+// not leak into deterministic admission code, and SIMD intrinsics belong
+// in admit_kernel.hpp next to their scalar reference, not in callers.
+#include <chrono>       // rthv-lint-expect: banned-include
+#include <immintrin.h>  // rthv-lint-expect: banned-include
+
+int fixture_uses_nothing() { return 0; }

@@ -9,11 +9,11 @@ reproduction's correctness story rests on but that a compiler cannot check:
                        src/exp/ timing code. The simulator must be a pure
                        function of its seed; a stray steady_clock::now()
                        breaks bit-identical --jobs sweeps.
-  no-hot-alloc         No raw new/malloc in src/sim/, src/hv/ and
-                       src/fault/ (the simulator hot paths; fault
-                       injectors run as simulation events). Steady-state
-                       event handling must not allocate; growth paths
-                       need a waiver.
+  no-hot-alloc         No raw new/malloc in src/sim/, src/hv/, src/mon/
+                       and src/fault/ (the simulator hot paths; monitors
+                       judge every IRQ, fault injectors run as simulation
+                       events). Steady-state event handling must not
+                       allocate; growth paths need a waiver.
   trace-registered-id  Every obs::TracePoint::kX referenced anywhere must
                        be an enumerator registered in
                        src/obs/trace_event.hpp (ids are part of the trace
@@ -23,10 +23,13 @@ reproduction's correctness story rests on but that a compiler cannot check:
                        src/analysis/. All tick arithmetic must go through
                        core/checked.hpp so Eq. 3-16 detect overflow
                        instead of wrapping.
-  banned-include       <chrono> is banned in src/sim/ and src/analysis/
-                       (wall-clock leakage); <iostream> is banned in
-                       library code (static-init order, stray output from
-                       libraries; use <iosfwd>/<ostream> interfaces).
+  banned-include       <chrono> is banned in src/sim/, src/analysis/,
+                       src/mon/, src/hv/ and src/hw/ (wall-clock
+                       leakage); <iostream> is banned in library code
+                       (static-init order, stray output from libraries;
+                       use <iosfwd>/<ostream> interfaces); <immintrin.h>
+                       is confined to src/mon/admit_kernel.hpp so every
+                       SIMD path stays next to its scalar reference.
   header-hygiene       Headers must start with #pragma once (or a classic
                        include guard) and must not contain
                        'using namespace' at any scope.
@@ -258,9 +261,9 @@ ALLOC_C_FUNCS = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
 
 
 @rule("no-hot-alloc",
-      "no raw new/malloc in src/sim/, src/hv/ and src/fault/ hot paths")
+      "no raw new/malloc in src/sim/, src/hv/, src/mon/ and src/fault/ hot paths")
 def check_hot_alloc(src: SourceFile, ctx: LintContext):
-    if not _in(src.relpath, "src/sim/", "src/hv/", "src/fault/"):
+    if not _in(src.relpath, "src/sim/", "src/hv/", "src/mon/", "src/fault/"):
         return
     for lineno, line in enumerate(src.code_lines, 1):
         if INCLUDE_RE.match(line):  # e.g. #include <new>
@@ -324,11 +327,16 @@ def check_checked_arith(src: SourceFile, ctx: LintContext):
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^>"]+)[>"]')
 BANNED_INCLUDES = [
     # (header, scope-prefixes, scope-exemptions, reason)
-    ("chrono", ("src/sim/", "src/analysis/"), (),
-     "wall-clock types must not leak into deterministic sim/analysis code"),
+    ("chrono", ("src/sim/", "src/analysis/", "src/mon/", "src/hv/", "src/hw/"),
+     (),
+     "wall-clock types must not leak into deterministic sim/monitor/"
+     "hypervisor code"),
     ("iostream", ("src/",), ("src/exp/",),
      "library code must not pull in iostream (static-init order, stray "
      "output); take std::ostream& or use <iosfwd>"),
+    ("immintrin.h", ("src/",), ("src/mon/admit_kernel.hpp",),
+     "SIMD intrinsics are confined to the admission-kernel header, which "
+     "pairs every intrinsic path with its bit-identical scalar reference"),
 ]
 
 
