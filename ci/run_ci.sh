@@ -28,6 +28,12 @@ ctest --test-dir build-ci --output-on-failure -j "$jobs"
 echo "== fault-injection campaigns (ctest -L fault) =="
 ctest --test-dir build-ci --output-on-failure -L fault -j "$jobs"
 
+# Snapshot-driven coverage-guided campaigns: falsifiability (the hunt must
+# find the weakened-monitor violation and replay it standalone), jobs
+# determinism, and the >=10x edge over the random baseline.
+echo "== adversarial hunt (ctest -L hunt) =="
+ctest --test-dir build-ci --output-on-failure -L hunt -j "$jobs"
+
 # Benchmarks must at least run: second-scale smoke invocations of both
 # google-benchmark binaries (crashes/asserts, not numbers).
 echo "== perf smoke (ctest -L perf-smoke) =="

@@ -232,13 +232,21 @@ void HypervisorSystem::attach_trace(std::uint32_t source_index, workload::Trace 
       platform_->timer(source_index), std::move(trace)));
 }
 
-std::uint64_t HypervisorSystem::run(Duration horizon) {
+void HypervisorSystem::start() {
   assert(!started_);
   started_ = true;
   for (auto& g : guests_) g->start();
   for (auto& d : drivers_) d->start();
   hv_->start();
-  const sim::TimePoint end = sim_.now() + horizon;
+}
+
+std::uint64_t HypervisorSystem::run(Duration horizon) {
+  if (!started_) start();
+  return run_continue(sim_.now() + horizon);
+}
+
+std::uint64_t HypervisorSystem::run_continue(sim::TimePoint until) {
+  assert(started_);
   // Source raises lost to the non-counting IRQ latch (an already-pending
   // line swallows a raise, exactly like real IRQ flags) will never produce
   // a bottom handler; discount them so the run terminates.
@@ -257,10 +265,92 @@ std::uint64_t HypervisorSystem::run(Duration horizon) {
   while ((run_to_horizon_ || expected_ == 0 ||
           completed_ + platform_->intc().lost_raises() < expected_ ||
           completed_ + lost_on_sources() < expected_) &&
-         !sim_.idle() && sim_.now() < end) {
+         !sim_.idle() && sim_.now() < until) {
     sim_.step();
   }
   return completed_;
+}
+
+void HypervisorSystem::attach_checkpoint_client(CheckpointClient* client) {
+  assert(client != nullptr);
+  if (client_ != nullptr && client_ != client) {
+    throw std::logic_error("HypervisorSystem: a checkpoint client is already attached");
+  }
+  client_ = client;
+}
+
+void HypervisorSystem::detach_checkpoint_client(CheckpointClient* client) {
+  if (client_ == client) client_ = nullptr;
+}
+
+HypervisorSystem::SystemSnapshot HypervisorSystem::snapshot() const {
+  SystemSnapshot snap;
+  snap.sim = sim_.snapshot();
+
+  sim::StateWriter w;
+  platform_->snapshot_state(w);
+  w.u64(guests_.size());
+  for (const auto& g : guests_) g->snapshot_state(w);
+  w.u64(drivers_.size());
+  for (const auto& d : drivers_) d->snapshot_state(w);
+  w.u64(expected_);
+  w.u64(completed_);
+  w.boolean(keep_completions_);
+  w.boolean(run_to_horizon_);
+  w.boolean(started_);
+  snap.words = w.take();
+
+  snap.hv = hv_->snapshot();
+  snap.metrics = metrics_.snapshot();
+  snap.recorder = recorder_;
+  snap.completions = completions_;
+
+  snap.has_client = client_ != nullptr;
+  if (client_ != nullptr) {
+    sim::StateWriter cw;
+    client_->snapshot_state(cw);
+    snap.client_words = cw.take();
+  }
+  return snap;
+}
+
+void HypervisorSystem::restore(const SystemSnapshot& snap) {
+  if (snap.has_client != (client_ != nullptr)) {
+    throw std::logic_error(
+        "HypervisorSystem::restore: checkpoint-client presence changed");
+  }
+  sim_.restore(snap.sim);
+
+  sim::StateReader r(snap.words);
+  platform_->restore_state(r);
+  if (r.u64() != guests_.size()) {
+    throw std::logic_error("HypervisorSystem::restore: guest count changed");
+  }
+  for (auto& g : guests_) g->restore_state(r);
+  if (r.u64() != drivers_.size()) {
+    throw std::logic_error("HypervisorSystem::restore: trace-driver count changed");
+  }
+  for (auto& d : drivers_) d->restore_state(r);
+  expected_ = r.u64();
+  completed_ = r.u64();
+  keep_completions_ = r.boolean();
+  run_to_horizon_ = r.boolean();
+  started_ = r.boolean();
+  assert(r.exhausted() && "system snapshot stream not fully consumed");
+
+  hv_->restore(snap.hv);
+  metrics_.restore(snap.metrics);
+  recorder_ = snap.recorder;
+  completions_ = snap.completions;
+
+  // The client restores last: it may re-establish device-level decorations
+  // (e.g. a clock-drift deadline transform) on the freshly restored
+  // platform state.
+  if (client_ != nullptr) {
+    sim::StateReader cr(snap.client_words);
+    client_->restore_state(cr);
+    assert(cr.exhausted() && "client snapshot stream not fully consumed");
+  }
 }
 
 }  // namespace rthv::core

@@ -17,10 +17,22 @@
 #include "obs/trace_event.hpp"
 #include "obs/trace_ring.hpp"
 #include "sim/simulator.hpp"
+#include "sim/state_io.hpp"
 #include "stats/latency_recorder.hpp"
 #include "workload/trace.hpp"
 
 namespace rthv::core {
+
+/// Extra checkpointable state riding along with system snapshots -- e.g. a
+/// fault engine's pending injector timers and RNG streams, which live
+/// outside the system object graph. At most one client is attached at a
+/// time; its state is serialized after everything the system owns.
+class CheckpointClient {
+ public:
+  virtual ~CheckpointClient() = default;
+  virtual void snapshot_state(sim::StateWriter& w) const = 0;
+  virtual void restore_state(sim::StateReader& r) = 0;
+};
 
 class HypervisorSystem {
  public:
@@ -46,6 +58,50 @@ class HypervisorSystem {
   /// attached trace activations have completed their bottom handlers or
   /// `horizon` passes. Returns the number of completed bottom handlers.
   std::uint64_t run(sim::Duration horizon);
+
+  /// Starts guests, trace drivers and the hypervisor without stepping the
+  /// simulation. run() does this implicitly; snapshot-based campaigns call
+  /// start() once and then drive the clock with run_continue().
+  void start();
+
+  /// Steps the simulation up to the absolute instant `until`, honoring the
+  /// same termination rules as run() (trace completion accounting, idle).
+  /// Requires start(); callable repeatedly, including after restore().
+  std::uint64_t run_continue(sim::TimePoint until);
+
+  // --- checkpoint / restore --------------------------------------------------
+
+  /// Full-state checkpoint of the assembled system: the simulator core
+  /// (timer wheel, callbacks, clock), platform devices, guest kernels,
+  /// trace-driver cursors, the entire hypervisor (including monitor
+  /// tracebuffers and the trace ring), metrics, latency records and the
+  /// attached checkpoint client, if any. Move-only (owns cloned callbacks).
+  struct SystemSnapshot {
+    sim::Simulator::Snapshot sim;
+    std::vector<std::uint64_t> words;  // platform + guests + drivers + run state
+    hv::Hypervisor::Snapshot hv;
+    obs::MetricsSnapshot metrics;
+    stats::LatencyRecorder recorder;
+    std::vector<hv::CompletedIrq> completions;
+    std::vector<std::uint64_t> client_words;
+    bool has_client = false;
+  };
+
+  /// Captures the current state. Must be called between simulator events
+  /// (never from inside a callback). Snapshots are repeatable: restoring
+  /// and re-running does not consume them.
+  [[nodiscard]] SystemSnapshot snapshot() const;
+
+  /// Restores a snapshot in place on this same system object: wiring
+  /// (configs, hooks, clients) is structural and must not have changed
+  /// since the snapshot was taken. Throws std::logic_error on a client
+  /// presence mismatch.
+  void restore(const SystemSnapshot& snap);
+
+  /// Attaches/detaches the single checkpoint client (see CheckpointClient).
+  void attach_checkpoint_client(CheckpointClient* client);
+  void detach_checkpoint_client(CheckpointClient* client);
+  [[nodiscard]] CheckpointClient* checkpoint_client() const { return client_; }
 
   /// Ignore the attached-trace completion count and always run to the
   /// horizon (or simulator idleness). Fault-injection campaigns raise IRQs
@@ -103,6 +159,7 @@ class HypervisorSystem {
   bool keep_completions_ = false;
   bool run_to_horizon_ = false;
   bool started_ = false;
+  CheckpointClient* client_ = nullptr;
   stats::LatencyRecorder recorder_;
   std::vector<hv::CompletedIrq> completions_;
   obs::MetricsRegistry metrics_;

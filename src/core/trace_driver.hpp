@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "hw/hw_timer.hpp"
+#include "sim/state_io.hpp"
 #include "workload/trace.hpp"
 
 namespace rthv::core {
@@ -24,6 +25,17 @@ class TraceIrqDriver {
   [[nodiscard]] std::uint64_t fired() const { return timer_.fires(); }
   [[nodiscard]] bool exhausted() const { return next_ >= trace_.size(); }
   [[nodiscard]] const workload::Trace& trace() const { return trace_; }
+
+  /// Checkpoint of the replay cursor; the timer's armed deadline and the
+  /// expiry hook live in the hardware/simulator snapshots.
+  void snapshot_state(sim::StateWriter& w) const {
+    w.u64(next_);
+    w.boolean(started_);
+  }
+  void restore_state(sim::StateReader& r) {
+    next_ = r.u64();
+    started_ = r.boolean();
+  }
 
  private:
   void arm_next();

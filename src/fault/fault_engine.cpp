@@ -19,9 +19,32 @@ FaultEngine::FaultEngine(core::HypervisorSystem& system, const FaultPlan& plan,
   }
 }
 
+FaultEngine::~FaultEngine() {
+  if (armed_) {
+    for (auto& injector : injectors_) injector->disarm(ctx_);
+  }
+  system_.detach_checkpoint_client(this);
+}
+
 void FaultEngine::arm() {
   for (auto& injector : injectors_) injector->arm(ctx_);
   system_.set_run_to_horizon(true);
+  armed_ = true;
+  if (system_.checkpoint_client() == nullptr) {
+    system_.attach_checkpoint_client(this);
+  }
+}
+
+void FaultEngine::snapshot_state(sim::StateWriter& w) const {
+  w.u64(injectors_.size());
+  for (const auto& injector : injectors_) injector->snapshot_state(w);
+}
+
+void FaultEngine::restore_state(sim::StateReader& r) {
+  if (r.u64() != injectors_.size()) {
+    throw std::logic_error("FaultEngine::restore_state: injector count changed");
+  }
+  for (auto& injector : injectors_) injector->restore_state(r);
 }
 
 std::uint64_t FaultEngine::total_injected() const {

@@ -18,12 +18,18 @@
 
 namespace rthv::fault {
 
-class FaultEngine {
+class FaultEngine final : public core::CheckpointClient {
  public:
   /// Builds one injector per plan entry. The system must outlive the
   /// engine; the plan is copied.
   FaultEngine(core::HypervisorSystem& system, const FaultPlan& plan,
               std::uint64_t seed);
+
+  /// Disarms every injector (removing device-level hooks such as the
+  /// clock-drift deadline transform) and detaches from the system's
+  /// checkpoint slot if this engine holds it. Pending injection events
+  /// stay on the simulator; a campaign discards them via restore().
+  ~FaultEngine() override;
 
   FaultEngine(const FaultEngine&) = delete;
   FaultEngine& operator=(const FaultEngine&) = delete;
@@ -34,6 +40,11 @@ class FaultEngine {
   /// horizon-bounded running -- injected raises would otherwise end the run
   /// early through the attached-trace completion count. Call once, before
   /// HypervisorSystem::run().
+  ///
+  /// Also claims the system's checkpoint slot when it is free, so
+  /// HypervisorSystem::snapshot()/restore() round-trips the injectors'
+  /// state (pending timers keep firing after a mid-storm restore). Later
+  /// engines on the same system (campaign mutants) arm without attaching.
   void arm();
 
   [[nodiscard]] std::uint64_t total_injected() const;
@@ -42,10 +53,15 @@ class FaultEngine {
     return *injectors_.at(i);
   }
 
+  // --- core::CheckpointClient ----------------------------------------------
+  void snapshot_state(sim::StateWriter& w) const override;
+  void restore_state(sim::StateReader& r) override;
+
  private:
   core::HypervisorSystem& system_;
   InjectionContext ctx_;
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
+  bool armed_ = false;
 };
 
 /// Test-only hook behind the oracle's falsifiability requirement: replaces

@@ -102,18 +102,50 @@ void ClockDriftInjector::do_arm(InjectionContext& ctx) {
   // The TDMA tick timer (IRQ line 0) is created inside Hypervisor::start(),
   // which runs synchronously before the simulator executes its first event,
   // so a scheduled installation always finds it.
+  armed_ctx_ = &ctx;
   ctx.sim.schedule_at(std::max(spec_.start, ctx.sim.now()), [this, &ctx] {
     epoch_ns_ = ctx.sim.now().count_ns();
-    for (std::size_t i = 0; i < ctx.platform.num_timers(); ++i) {
-      auto& timer = ctx.platform.timer(i);
-      if (timer.line() == 0) {
-        timer.set_deadline_transform(
-            [this, &ctx](TimePoint deadline) { return transform(ctx, deadline); });
-        return;
-      }
-    }
-    throw std::logic_error("clock-drift injector: no TDMA tick timer found");
+    install(ctx);
   });
+}
+
+hw::HwTimer* ClockDriftInjector::tick_timer(InjectionContext& ctx) const {
+  for (std::size_t i = 0; i < ctx.platform.num_timers(); ++i) {
+    auto& timer = ctx.platform.timer(i);
+    if (timer.line() == 0) return &timer;
+  }
+  return nullptr;
+}
+
+void ClockDriftInjector::install(InjectionContext& ctx) {
+  hw::HwTimer* timer = tick_timer(ctx);
+  if (timer == nullptr) {
+    throw std::logic_error("clock-drift injector: no TDMA tick timer found");
+  }
+  timer->set_deadline_transform(
+      [this, &ctx](TimePoint deadline) { return transform(ctx, deadline); });
+  installed_ = true;
+}
+
+void ClockDriftInjector::disarm(InjectionContext& ctx) {
+  if (!installed_) return;
+  if (hw::HwTimer* timer = tick_timer(ctx)) timer->set_deadline_transform({});
+  installed_ = false;
+}
+
+void ClockDriftInjector::restore_state(sim::StateReader& r) {
+  FaultInjector::restore_state(r);
+  epoch_ns_ = r.i64();
+  const bool was_installed = r.boolean();
+  // Converge the live hook on the restored truth: a mutant engine's drift
+  // injector may have replaced it, or disarm may have removed it, since the
+  // snapshot was taken.
+  if (was_installed && armed_ctx_ != nullptr) {
+    install(*armed_ctx_);
+  } else if (!was_installed && installed_ && armed_ctx_ != nullptr) {
+    disarm(*armed_ctx_);
+  }
+  installed_ = was_installed;
 }
 
 TimePoint ClockDriftInjector::transform(InjectionContext& ctx, TimePoint deadline) {

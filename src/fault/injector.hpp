@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "sim/state_io.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::fault {
@@ -57,6 +58,26 @@ class FaultInjector {
 
   /// Actions performed so far (raises, latch clears, perturbed deadlines).
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+  /// Removes any device-level decoration the injector installed (e.g. a
+  /// timer deadline transform); pending simulator events are untouched.
+  /// Default: nothing to undo. Called by the engine's destructor so a
+  /// discarded engine (a killed campaign mutant) cannot leave its hooks on
+  /// the shared hardware.
+  virtual void disarm(InjectionContext& ctx) { (void)ctx; }
+
+  /// Checkpoint of the injector's mutable state (RNG stream, action
+  /// counter, derived overrides). The injection events pending on the
+  /// simulator are captured by the simulator snapshot; their callbacks
+  /// reference this object, which a restore keeps in place.
+  virtual void snapshot_state(sim::StateWriter& w) const {
+    w.pod(rng_.state());
+    w.u64(injected_);
+  }
+  virtual void restore_state(sim::StateReader& r) {
+    rng_.set_state(r.pod<sim::Xoshiro256::State>());
+    injected_ = r.u64();
+  }
 
  protected:
   virtual void do_arm(InjectionContext& ctx) = 0;
@@ -121,11 +142,29 @@ class ClockDriftInjector final : public FaultInjector {
  public:
   using FaultInjector::FaultInjector;
 
+  /// Uninstalls the deadline transform (a discarded engine must not keep
+  /// warping the TDMA grid through a dangling callback).
+  void disarm(InjectionContext& ctx) override;
+
+  void snapshot_state(sim::StateWriter& w) const override {
+    FaultInjector::snapshot_state(w);
+    w.i64(epoch_ns_);
+    w.boolean(installed_);
+  }
+  /// Re-installs the transform when the snapshot had it active: a restore
+  /// may land on state where a since-destroyed mutant engine's injector had
+  /// overwritten (or disarm had removed) this injector's hook.
+  void restore_state(sim::StateReader& r) override;
+
  private:
   void do_arm(InjectionContext& ctx) override;
+  void install(InjectionContext& ctx);
   [[nodiscard]] sim::TimePoint transform(InjectionContext& ctx, sim::TimePoint deadline);
+  [[nodiscard]] hw::HwTimer* tick_timer(InjectionContext& ctx) const;
 
   std::int64_t epoch_ns_ = 0;
+  bool installed_ = false;
+  InjectionContext* armed_ctx_ = nullptr;
 };
 
 /// Raises the source `lead` before each TDMA boundary so the resulting
@@ -158,6 +197,19 @@ class FloodInjector final : public FaultInjector {
 class AdversaryInjector final : public FaultInjector {
  public:
   using FaultInjector::FaultInjector;
+
+  void snapshot_state(sim::StateWriter& w) const override {
+    FaultInjector::snapshot_state(w);
+    w.pod_vec(shadow_);
+    w.u64(shadow_count_);
+    w.u64(raises_done_);
+  }
+  void restore_state(sim::StateReader& r) override {
+    FaultInjector::restore_state(r);
+    r.pod_vec(shadow_);
+    shadow_count_ = r.u64();
+    raises_done_ = r.u64();
+  }
 
  private:
   void do_arm(InjectionContext& ctx) override;

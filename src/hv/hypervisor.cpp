@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/state_io.hpp"
+
 namespace rthv::hv {
 
 using obs::TraceCategory;
@@ -836,6 +838,103 @@ void Hypervisor::on_slice_complete() {
   health_.report(HealthEvent{now(), HealthEventKind::kBudgetOverrun, r.partition,
                              w.event ? w.event->source : UINT32_MAX});
   end_interpose();
+}
+
+Hypervisor::Snapshot Hypervisor::snapshot() const {
+  sim::StateWriter w;
+  w.boolean(started_);
+  w.boolean(hv_busy_);
+  w.boolean(cpu_idle_);
+  w.u64(current_partition_);
+  w.boolean(running_.has_value());
+  if (running_) w.pod(*running_);
+  w.boolean(interpose_.has_value());
+  if (interpose_) w.pod(*interpose_);
+  w.boolean(slot_switch_pending_);
+  w.pod_vec(pending_restarts_);
+  w.pod(ctx_stats_);
+  w.pod(irq_path_stats_);
+  w.u64(restarts_);
+  w.pod(batch_);
+  w.boolean(scheduler_ != nullptr);
+  if (scheduler_) scheduler_->snapshot_state(w);
+  w.u64(partitions_.size());
+  for (const Partition& p : partitions_) p.snapshot_state(w);
+  w.pod_vec(srcs_.next_seq);
+  w.u64(owned_monitors_.size());
+  for (const auto& m : owned_monitors_) {
+    w.boolean(m != nullptr);
+    if (m) m->snapshot_state(w);
+  }
+  w.boolean(ipc_ != nullptr);
+  if (ipc_) ipc_->snapshot_state(w);
+  ports_.snapshot_state(w);
+  health_.snapshot_state(w);
+
+  Snapshot snap;
+  snap.words = w.take();
+  snap.bh_in_progress.reserve(partitions_.size());
+  snap.saved_guest_work.reserve(partitions_.size());
+  for (const Partition& p : partitions_) {
+    snap.bh_in_progress.push_back(p.bh_in_progress);
+    snap.saved_guest_work.push_back(p.saved_guest_work);
+  }
+  snap.trace_ring = trace_.ring();
+  return snap;
+}
+
+void Hypervisor::restore(const Snapshot& snap) {
+  sim::StateReader r(snap.words);
+  started_ = r.boolean();
+  hv_busy_ = r.boolean();
+  cpu_idle_ = r.boolean();
+  current_partition_ = static_cast<PartitionId>(r.u64());
+  running_.reset();
+  if (r.boolean()) running_ = r.pod<Running>();
+  interpose_.reset();
+  if (r.boolean()) interpose_ = r.pod<Interpose>();
+  slot_switch_pending_ = r.boolean();
+  r.pod_vec(pending_restarts_);
+  ctx_stats_ = r.pod<ContextSwitchStats>();
+  irq_path_stats_ = r.pod<IrqPathStats>();
+  restarts_ = r.u64();
+  batch_ = r.pod<IrqBatch>();
+  const bool had_scheduler = r.boolean();
+  if (had_scheduler != (scheduler_ != nullptr)) {
+    throw std::logic_error("Hypervisor::restore: schedule configuration changed");
+  }
+  if (scheduler_) scheduler_->restore_state(r);
+  if (r.u64() != partitions_.size()) {
+    throw std::logic_error("Hypervisor::restore: partition count changed");
+  }
+  for (Partition& p : partitions_) p.restore_state(r);
+  r.pod_vec(srcs_.next_seq);
+  if (r.u64() != owned_monitors_.size()) {
+    throw std::logic_error("Hypervisor::restore: source count changed");
+  }
+  for (auto& m : owned_monitors_) {
+    if (r.boolean() != (m != nullptr)) {
+      throw std::logic_error("Hypervisor::restore: monitor set changed");
+    }
+    if (m) m->restore_state(r);
+  }
+  const bool had_ipc = r.boolean();
+  if (had_ipc != (ipc_ != nullptr)) {
+    throw std::logic_error("Hypervisor::restore: IPC router presence changed");
+  }
+  if (ipc_) ipc_->restore_state(r);
+  ports_.restore_state(r);
+  health_.restore_state(r);
+  assert(r.exhausted() && "Hypervisor snapshot stream not fully consumed");
+
+  assert(snap.bh_in_progress.size() == partitions_.size());
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    partitions_[i].bh_in_progress = snap.bh_in_progress[i];
+    partitions_[i].saved_guest_work = snap.saved_guest_work[i];
+  }
+  trace_.ring() = snap.trace_ring;
+  // The health monitor traces into the ring we just copy-assigned over; its
+  // pointer still targets trace_.ring() itself, so no rewiring is needed.
 }
 
 obs::TraceMeta Hypervisor::trace_meta() const {

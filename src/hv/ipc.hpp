@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "hv/types.hpp"
+#include "sim/state_io.hpp"
 
 namespace rthv::hv {
 
@@ -36,6 +37,28 @@ class IpcRouter {
   [[nodiscard]] std::size_t pending(PartitionId dst) const;
   [[nodiscard]] std::uint64_t sent_total() const { return sent_; }
   [[nodiscard]] std::uint64_t dropped_total() const { return dropped_; }
+
+  /// Checkpoint of all mailboxes and counters.
+  void snapshot_state(sim::StateWriter& w) const {
+    w.u64(mailboxes_.size());
+    for (const auto& box : mailboxes_) {
+      w.u64(box.size());
+      for (const IpcMessage& m : box) w.pod(m);
+    }
+    w.u64(sent_);
+    w.u64(dropped_);
+  }
+  void restore_state(sim::StateReader& r) {
+    const std::uint64_t boxes = r.u64();
+    mailboxes_.resize(boxes);
+    for (auto& box : mailboxes_) {
+      const std::uint64_t n = r.u64();
+      box.clear();
+      for (std::uint64_t i = 0; i < n; ++i) box.push_back(r.pod<IpcMessage>());
+    }
+    sent_ = r.u64();
+    dropped_ = r.u64();
+  }
 
  private:
   std::size_t capacity_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hv/types.hpp"
+#include "sim/state_io.hpp"
 
 namespace rthv::hv {
 
@@ -77,6 +78,26 @@ class IrqQueue {
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
   [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
+
+  /// Checkpoint of the ring contents and counters (capacity is structural,
+  /// the drop observer is wiring).
+  void snapshot_state(sim::StateWriter& w) const {
+    w.pod_vec(slots_);
+    w.u64(head_);
+    w.u64(size_);
+    w.u64(drops_);
+    w.u64(pushed_);
+    w.u64(high_watermark_);
+  }
+  void restore_state(sim::StateReader& r) {
+    r.pod_vec(slots_);
+    assert(slots_.size() == capacity_ && "IrqQueue capacity changed across restore");
+    head_ = r.u64();
+    size_ = r.u64();
+    drops_ = r.u64();
+    pushed_ = r.u64();
+    high_watermark_ = r.u64();
+  }
 
  private:
   std::size_t capacity_;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "sim/state_io.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::hw {
@@ -68,6 +69,16 @@ class CpuModel {
   [[nodiscard]] std::uint64_t total_cycles() const;
 
   void reset_accounting();
+
+  /// Checkpoint of the mutable accounting ledgers (clock config is static).
+  void snapshot_state(sim::StateWriter& w) const {
+    w.pod_span(cycles_.data(), cycles_.size());
+    w.pod_span(duration_ns_.data(), duration_ns_.size());
+  }
+  void restore_state(sim::StateReader& r) {
+    r.pod_span(cycles_.data(), cycles_.size());
+    r.pod_span(duration_ns_.data(), duration_ns_.size());
+  }
 
  private:
   std::uint64_t freq_hz_;

@@ -51,6 +51,27 @@ class HwTimer {
   void set_deadline_transform(DeadlineTransform transform) {
     deadline_transform_ = std::move(transform);
   }
+  [[nodiscard]] bool has_deadline_transform() const {
+    return static_cast<bool>(deadline_transform_);
+  }
+
+  /// Checkpoint of the arming state. The pending EventId round-trips as a
+  /// value: the simulator snapshot preserves slot generations, so a restored
+  /// id refers to exactly the queued expiry event it did at snapshot time.
+  void snapshot_state(sim::StateWriter& w) const {
+    w.pod(pending_);
+    w.boolean(armed_);
+    w.pod(deadline_);
+    w.pod(reload_);
+    w.u64(fires_);
+  }
+  void restore_state(sim::StateReader& r) {
+    pending_ = r.pod<sim::EventId>();
+    armed_ = r.boolean();
+    deadline_ = r.pod<sim::TimePoint>();
+    reload_ = r.pod<sim::Duration>();
+    fires_ = r.u64();
+  }
 
  private:
   void fire();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "hw/cpu_model.hpp"
@@ -47,6 +48,26 @@ class Platform {
 
   [[nodiscard]] std::size_t num_timers() const { return timers_.size(); }
   [[nodiscard]] HwTimer& timer(std::size_t i) { return *timers_.at(i); }
+
+  /// Checkpoint of all mutable hardware state (CPU accounting, controller
+  /// latches, timer arming). The timer population must match between
+  /// snapshot and restore -- timers are structural, created at system
+  /// configuration/startup, never mid-run.
+  void snapshot_state(sim::StateWriter& w) const {
+    cpu_.snapshot_state(w);
+    intc_.snapshot_state(w);
+    w.u64(timers_.size());
+    for (const auto& t : timers_) t->snapshot_state(w);
+  }
+  void restore_state(sim::StateReader& r) {
+    cpu_.restore_state(r);
+    intc_.restore_state(r);
+    const std::uint64_t n = r.u64();
+    if (n != timers_.size()) {
+      throw std::logic_error("Platform::restore_state: timer count mismatch");
+    }
+    for (auto& t : timers_) t->restore_state(r);
+  }
 
  private:
   sim::Simulator& sim_;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "mon/admit_kernel.hpp"
+#include "sim/state_io.hpp"
 #include "sim/time.hpp"
 
 namespace rthv::mon {
@@ -62,7 +63,31 @@ class ActivationMonitor {
     return last_distance_;
   }
 
+  /// Checkpoint of the monitor's full mutable state (tracebuffer, counters,
+  /// warm-up progress). Derived classes append their state after the base
+  /// counters; writer and reader sequences must mirror each other exactly.
+  /// Snapshot/restore pairs must run on the same monitor configuration --
+  /// deltas, depths and windows are structural.
+  virtual void snapshot_state(sim::StateWriter& w) const { snapshot_base(w); }
+  virtual void restore_state(sim::StateReader& r) { restore_base(r); }
+
  protected:
+  void snapshot_base(sim::StateWriter& w) const {
+    w.u64(admitted_);
+    w.u64(denied_);
+    w.pod(last_arrival_);
+    w.pod(last_distance_);
+    w.boolean(has_distance_);
+    w.boolean(has_last_arrival_);
+  }
+  void restore_base(sim::StateReader& r) {
+    admitted_ = r.u64();
+    denied_ = r.u64();
+    last_arrival_ = r.pod<sim::TimePoint>();
+    last_distance_ = r.pod<sim::Duration>();
+    has_distance_ = r.boolean();
+    has_last_arrival_ = r.boolean();
+  }
   /// Implementations call this from record_and_check for every activation,
   /// admitted or not, *before* counting the verdict. Branch-free on purpose:
   /// this runs once per IRQ, so the distance is computed unconditionally
@@ -101,6 +126,17 @@ class DeltaMinMonitor final : public ActivationMonitor {
   bool record_and_check(sim::TimePoint now) override;
 
   [[nodiscard]] sim::Duration d_min() const { return d_min_; }
+
+  void snapshot_state(sim::StateWriter& w) const override {
+    snapshot_base(w);
+    w.boolean(has_previous_);
+    w.pod(previous_);
+  }
+  void restore_state(sim::StateReader& r) override {
+    restore_base(r);
+    has_previous_ = r.boolean();
+    previous_ = r.pod<sim::TimePoint>();
+  }
 
  private:
   sim::Duration d_min_;
@@ -148,6 +184,19 @@ class DeltaVectorMonitor final : public ActivationMonitor {
 
   /// Would an activation at `now` conform, without recording it?
   [[nodiscard]] bool peek(sim::TimePoint now) const;
+
+  void snapshot_state(sim::StateWriter& w) const override {
+    snapshot_base(w);
+    w.pod_span(win_ns_.data(), win_ns_.size());
+    w.u64(head_);
+    w.u64(count_);
+  }
+  void restore_state(sim::StateReader& r) override {
+    restore_base(r);
+    r.pod_span(win_ns_.data(), win_ns_.size());
+    head_ = r.u64();
+    count_ = r.u64();
+  }
 
  private:
   /// Admission check against the current window (no recording). The warm-up

@@ -34,6 +34,19 @@ class TokenBucketMonitor final : public ActivationMonitor {
   /// Tokens that would be available at `now` (diagnostic; does not mutate).
   [[nodiscard]] std::uint32_t tokens_at(sim::TimePoint now) const;
 
+  void snapshot_state(sim::StateWriter& w) const override {
+    snapshot_base(w);
+    w.u64(tokens_);
+    w.pod(last_refill_);
+    w.boolean(started_);
+  }
+  void restore_state(sim::StateReader& r) override {
+    restore_base(r);
+    tokens_ = static_cast<std::uint32_t>(r.u64());
+    last_refill_ = r.pod<sim::TimePoint>();
+    started_ = r.boolean();
+  }
+
  private:
   void refill(sim::TimePoint now);
 

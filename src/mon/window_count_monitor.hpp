@@ -31,6 +31,19 @@ class WindowCountMonitor final : public ActivationMonitor {
   /// Admissions currently inside the window ending at `now`.
   [[nodiscard]] std::uint32_t in_window(sim::TimePoint now) const;
 
+  void snapshot_state(sim::StateWriter& w) const override {
+    snapshot_base(w);
+    w.pod_vec(admissions_);
+    w.u64(next_);
+    w.u64(stored_);
+  }
+  void restore_state(sim::StateReader& r) override {
+    restore_base(r);
+    r.pod_vec(admissions_);
+    next_ = r.u64();
+    stored_ = static_cast<std::uint32_t>(r.u64());
+  }
+
  private:
   sim::Duration window_;
   std::uint32_t max_;

@@ -117,6 +117,13 @@ class MetricsRegistry {
 
   [[nodiscard]] MetricsSnapshot snapshot() const { return data_; }
 
+  /// Rolls the registry back to a previously captured snapshot. Metrics
+  /// registered *after* that snapshot are truncated away; because names
+  /// register in deterministic order, re-registering them afterwards yields
+  /// the same handles again. Handles registered before the snapshot remain
+  /// valid across restore.
+  void restore(const MetricsSnapshot& snap) { data_ = snap; }
+
  private:
   MetricsSnapshot data_;
 };

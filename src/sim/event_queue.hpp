@@ -305,6 +305,28 @@ class EventQueue {
     return Stats{cascades_, far_pulls_, buckets_opened_, far_.size(), far_peak_};
   }
 
+  // -- checkpoint/restore -------------------------------------------------
+  //
+  // A Snapshot captures the queue's complete observable state: the node
+  // table (times, seqs, generations, links, tier membership), the wheel
+  // buckets and occupancy masks, the far heap, the due list, the freelist,
+  // the frontier cursor, (size, next_seq), the stats counters, and a clone
+  // of every live callback cell. restore() puts all of it back in place on
+  // the SAME queue object -- callbacks routinely capture `this` pointers
+  // into the surrounding object graph, so a snapshot is only meaningful for
+  // the queue (and system) that produced it. Restoring is repeatable: the
+  // snapshot is not consumed, so fork-and-mutate drivers can restore the
+  // same checkpoint arbitrarily often.
+  //
+  // Must not be called from inside a dispatched callback: mid-dispatch the
+  // popped slot is in a transient state (generation already bumped, slot not
+  // yet on the freelist) that the invariants below do not cover. Between
+  // events every slot is either free or fully linked, which is what makes
+  // the round trip exact.
+  class Snapshot;
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& snap);
+
  private:
   static constexpr std::uint32_t kNpos = 0xffff'ffffU;
 
@@ -367,6 +389,9 @@ class EventQueue {
   };
 
   [[nodiscard]] Callback& callback_of(std::uint32_t s) {
+    return arena_[s >> kArenaChunkShift][s & (kArenaChunkSize - 1)];
+  }
+  [[nodiscard]] const Callback& callback_of(std::uint32_t s) const {
     return arena_[s >> kArenaChunkShift][s & (kArenaChunkSize - 1)];
   }
 
@@ -783,6 +808,96 @@ class EventQueue {
   std::uint64_t far_pulls_ = 0;
   std::uint64_t buckets_opened_ = 0;
   std::size_t far_peak_ = 0;
+
+ public:
+  // Defined down here so the private Node/Bucket/FarEntry types are
+  // complete; the name was declared in the public API block above.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(Snapshot&&) noexcept = default;
+    Snapshot& operator=(Snapshot&&) noexcept = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    /// Number of pending events captured in the snapshot.
+    [[nodiscard]] std::size_t live_events() const { return size; }
+
+   private:
+    friend class EventQueue;
+
+    std::vector<Node> nodes;
+    std::array<Bucket, static_cast<std::size_t>(kLevels) * kBucketsPerLevel> wheel{};
+    std::array<std::uint64_t, kLevels> occ{};
+    std::vector<FarEntry> far;
+    std::int64_t frontier_tick = 0;
+    std::uint32_t due_head = kNpos;
+    std::uint32_t due_tail = kNpos;
+    std::uint32_t free_head = kNpos;
+    std::size_t size = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t cascades = 0;
+    std::uint64_t far_pulls = 0;
+    std::uint64_t buckets_opened = 0;
+    std::size_t far_peak = 0;
+    // (slot, callback clone) for every non-free slot, ascending slot order.
+    std::vector<std::pair<std::uint32_t, Callback>> callbacks;
+  };
 };
+
+inline EventQueue::Snapshot EventQueue::snapshot() const {
+  Snapshot s;
+  s.nodes = nodes_;
+  s.wheel = wheel_;
+  s.occ = occ_;
+  s.far = far_;
+  s.frontier_tick = frontier_tick_;
+  s.due_head = due_head_;
+  s.due_tail = due_tail_;
+  s.free_head = free_head_;
+  s.size = size_;
+  s.next_seq = next_seq_;
+  s.cascades = cascades_;
+  s.far_pulls = far_pulls_;
+  s.buckets_opened = buckets_opened_;
+  s.far_peak = far_peak_;
+  s.callbacks.reserve(size_);
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state != NodeState::kFree) {
+      s.callbacks.emplace_back(i, callback_of(i).clone());
+    }
+  }
+  return s;
+}
+
+inline void EventQueue::restore(const Snapshot& snap) {
+  // Drop the callbacks of the slots live right now; freelisted slots hold
+  // empty cells already (release_slot resets eagerly).
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].state != NodeState::kFree) callback_of(i).reset();
+  }
+  nodes_ = snap.nodes;
+  wheel_ = snap.wheel;
+  occ_ = snap.occ;
+  far_ = snap.far;
+  scratch_.clear();  // transient sort buffer, meaningful only mid-open_bucket
+  frontier_tick_ = snap.frontier_tick;
+  due_head_ = snap.due_head;
+  due_tail_ = snap.due_tail;
+  free_head_ = snap.free_head;
+  size_ = snap.size;
+  next_seq_ = snap.next_seq;
+  cascades_ = snap.cascades;
+  far_pulls_ = snap.far_pulls;
+  buckets_opened_ = snap.buckets_opened;
+  far_peak_ = snap.far_peak;
+  // The slot table never shrinks, so the arena normally already covers the
+  // snapshot; the growth loop guards the general case.
+  const std::size_t chunks = (nodes_.size() + kArenaChunkSize - 1) >> kArenaChunkShift;
+  while (arena_.size() < chunks) {
+    arena_.push_back(std::make_unique<Callback[]>(kArenaChunkSize));
+  }
+  for (const auto& [slot, cb] : snap.callbacks) callback_of(slot) = cb.clone();
+}
 
 }  // namespace rthv::sim

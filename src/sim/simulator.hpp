@@ -71,6 +71,29 @@ class Simulator {
   /// Timer-wheel internals (cascades, far-heap population) for metrics.
   [[nodiscard]] EventQueue::Stats queue_stats() const { return queue_.stats(); }
 
+  // -- checkpoint/restore -------------------------------------------------
+  //
+  // Full simulator state: clock, executed-event counter, event limit, and
+  // the complete event queue (see EventQueue::Snapshot for the contract).
+  // Restore-in-place on the same Simulator only; restoring is repeatable.
+  struct Snapshot {
+    EventQueue::Snapshot queue;
+    TimePoint now;
+    std::uint64_t executed = 0;
+    std::uint64_t event_limit = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{queue_.snapshot(), now_, executed_, event_limit_};
+  }
+
+  void restore(const Snapshot& snap) {
+    queue_.restore(snap.queue);
+    now_ = snap.now;
+    executed_ = snap.executed;
+    event_limit_ = snap.event_limit;
+  }
+
  private:
   EventQueue queue_;
   TimePoint now_ = TimePoint::origin();

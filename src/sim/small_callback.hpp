@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstring>
 #include <new>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 
@@ -86,6 +87,35 @@ class SmallCallback {
     }
   }
 
+  /// True if clone() would succeed: empty, or the stored callable is
+  /// copy-constructible. Every hot-path lambda in the simulator captures
+  /// only `this` pointers and PODs, so in practice everything is clonable;
+  /// the escape hatch exists for test callables holding move-only state.
+  [[nodiscard]] bool clonable() const noexcept {
+    return ops_ == nullptr || ops_->copyable;
+  }
+
+  /// Copies the stored callable into a fresh SmallCallback (snapshot path
+  /// only -- never on the schedule/pop hot path). Throws std::logic_error
+  /// for non-copy-constructible callables: a snapshot that silently dropped
+  /// a queued event would be worse than no snapshot at all.
+  [[nodiscard]] SmallCallback clone() const {
+    SmallCallback out;
+    if (ops_ == nullptr) return out;
+    if (!ops_->copyable) {
+      throw std::logic_error(
+          "SmallCallback::clone: stored callable is not copy-constructible");
+    }
+    if (ops_->clone != nullptr) {
+      ops_->clone(storage(), out.storage());
+    } else {
+      // Inline trivially-copyable callable: the buffer bytes are the value.
+      std::memcpy(out.storage(), storage(), kInlineSize);
+    }
+    out.ops_ = ops_;
+    return out;
+  }
+
   /// True if a callable of type F would live in the inline buffer.
   template <typename F>
   [[nodiscard]] static constexpr bool stored_inline() {
@@ -98,11 +128,17 @@ class SmallCallback {
   // A null `relocate` means "memcpy the whole buffer" (inline trivially
   // copyable callables, and the heap case where the buffer just holds a
   // pointer); a null `destroy` means trivially destructible. Both let the
-  // hot move/reset paths skip the indirect call entirely.
+  // hot move/reset paths skip the indirect call entirely. A null `clone`
+  // means "memcpy the whole buffer" too, but ONLY for the inline trivially
+  // copyable case -- memcpy-cloning the heap case would alias the heap cell
+  // and double-delete it, so heap-stored callables always get a real clone
+  // function.
   struct Ops {
     void (*invoke)(void*);
     void (*relocate)(void* src, void* dst) noexcept;
     void (*destroy)(void*) noexcept;
+    void (*clone)(const void* src, void* dst);
+    bool copyable;
   };
 
   template <typename Fn>
@@ -131,6 +167,24 @@ class SmallCallback {
         delete *std::launder(reinterpret_cast<Fn**>(s));
       }
     }
+    static void clone(const void* src, void* dst) {
+      if constexpr (std::is_copy_constructible_v<Fn>) {
+        if constexpr (stored_inline<Fn>()) {
+          ::new (dst) Fn(*std::launder(reinterpret_cast<const Fn*>(src)));
+        } else {
+          // Snapshot-only clone of an oversized callable; never reached
+          // from the dispatch path.
+          // rthv-lint: allow(no-hot-alloc) -- cold checkpoint copy
+          ::new (dst) Fn*(new Fn(**std::launder(reinterpret_cast<Fn* const*>(src))));
+        }
+      } else {
+        // Unreachable: ops.copyable is false, so SmallCallback::clone throws
+        // before dispatching here. The branch only exists so this function
+        // instantiates for move-only Fn.
+        (void)src;
+        (void)dst;
+      }
+    }
     // Heap-stored callables relocate by copying the stored pointer, which
     // memcpy of the buffer covers too; trivial copyability (which implies a
     // trivial destructor) covers the inline case.
@@ -138,8 +192,14 @@ class SmallCallback {
         !stored_inline<Fn>() || std::is_trivially_copyable_v<Fn>;
     static constexpr bool kTrivialDestroy =
         stored_inline<Fn>() && std::is_trivially_destructible_v<Fn>;
+    static constexpr bool kMemcpyClone =
+        stored_inline<Fn>() && std::is_trivially_copyable_v<Fn>;
     static constexpr Ops ops{&invoke, kMemcpyRelocate ? nullptr : &relocate,
-                             kTrivialDestroy ? nullptr : &destroy};
+                             kTrivialDestroy ? nullptr : &destroy,
+                             (kMemcpyClone || !std::is_copy_constructible_v<Fn>)
+                                 ? nullptr
+                                 : &clone,
+                             std::is_copy_constructible_v<Fn>};
   };
 
   void move_from(SmallCallback& other) noexcept {
@@ -154,6 +214,9 @@ class SmallCallback {
   }
 
   [[nodiscard]] void* storage() noexcept { return static_cast<void*>(storage_); }
+  [[nodiscard]] const void* storage() const noexcept {
+    return static_cast<const void*>(storage_);
+  }
 
   alignas(std::max_align_t) std::byte storage_[kInlineSize];
   const Ops* ops_ = nullptr;

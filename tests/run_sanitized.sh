@@ -34,6 +34,18 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 echo "== ASan + UBSan: fault-injection campaigns (ctest -L fault) =="
 ctest --test-dir build-asan --output-on-failure -L fault -j "$jobs"
 
+# The checkpoint/restore layer is the prime use-after-free candidate: every
+# hunt evaluation restores cloned callbacks onto a live object graph and
+# throws armed mutant engines away mid-simulation. The hunt suite plus a
+# one-finding rthv_hunt smoke drives that whole path under ASan/UBSan.
+echo "== ASan + UBSan: snapshot hunt (ctest -L hunt) =="
+ctest --test-dir build-asan --output-on-failure -L hunt -j "$jobs"
+
+echo "== ASan + UBSan: rthv_hunt smoke =="
+./build-asan/tools/rthv_hunt/rthv_hunt --baseline --weaken 4 --exp 1444 0 \
+  --generations 10 --population 8 --horizon-ms 100 --fork-ms 10 --seed 7 \
+  --jobs 2 --expect-finding > /dev/null
+
 # The randomized batched-vs-scalar admission differential is the designated
 # sanitizer workout for the SIMD admit kernels: random windows and random
 # batch splits under ASan/UBSan probe every load the AND-reduction and the

@@ -1,0 +1,13 @@
+// Fixture: raw heap allocation on the checkpoint path. snapshot()/restore()
+// run between every pair of hunt evaluations -- thousands of times per
+// campaign -- so serialization goes through StateWriter's word vector
+// (amortized growth), never per-snapshot heap cells.
+#include <cstdint>
+#include <cstdlib>
+
+std::uint64_t* fixture_snapshot_scratch(std::size_t words) {
+  std::uint64_t* cells = new std::uint64_t[words]; // rthv-lint-expect: no-hot-alloc
+  void* raw = std::malloc(words * 8);              // rthv-lint-expect: no-hot-alloc
+  std::free(raw);
+  return cells;
+}

@@ -1,0 +1,26 @@
+// Fixture (negative case): the sanctioned checkpoint serialization pattern
+// -- state streams into a reusable word vector whose growth is amortized
+// (vector push_back, cold after the first snapshot), so the no-hot-alloc
+// rule stays quiet on the snapshot path.
+#include <cstdint>
+#include <vector>
+
+class FixtureStateWords {
+ public:
+  void u64(std::uint64_t v) { words_.push_back(v); }
+
+  void reset() { words_.clear(); }  // capacity retained across snapshots
+
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+void fixture_snapshot(FixtureStateWords& w) {
+  w.reset();
+  w.u64(42);
+  w.u64(7);
+}

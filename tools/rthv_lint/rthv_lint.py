@@ -9,8 +9,9 @@ reproduction's correctness story rests on but that a compiler cannot check:
                        src/exp/ timing code. The simulator must be a pure
                        function of its seed; a stray steady_clock::now()
                        breaks bit-identical --jobs sweeps.
-  no-hot-alloc         No raw new/malloc in src/sim/, src/hv/, src/mon/
-                       and src/fault/ (the simulator hot paths; monitors
+  no-hot-alloc         No raw new/malloc in src/sim/, src/hv/, src/mon/,
+                       src/fault/ and src/core/ (the simulator hot paths
+                       and the checkpoint/snapshot path; monitors
                        judge every IRQ, fault injectors run as simulation
                        events). Steady-state event handling must not
                        allocate; growth paths need a waiver.
@@ -261,9 +262,14 @@ ALLOC_C_FUNCS = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
 
 
 @rule("no-hot-alloc",
-      "no raw new/malloc in src/sim/, src/hv/, src/mon/ and src/fault/ hot paths")
+      "no raw new/malloc in src/sim/, src/hv/, src/mon/, src/fault/ and "
+      "src/core/ hot paths")
 def check_hot_alloc(src: SourceFile, ctx: LintContext):
-    if not _in(src.relpath, "src/sim/", "src/hv/", "src/mon/", "src/fault/"):
+    # src/core/ is included for the checkpoint path: snapshot() runs between
+    # hunt evaluations thousands of times, so its serialization must go
+    # through StateWriter's word vector, never ad-hoc heap cells.
+    if not _in(src.relpath, "src/sim/", "src/hv/", "src/mon/", "src/fault/",
+               "src/core/"):
         return
     for lineno, line in enumerate(src.code_lines, 1):
         if INCLUDE_RE.match(line):  # e.g. #include <new>
