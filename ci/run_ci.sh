@@ -3,9 +3,12 @@
 #   1. configure + build with warnings-as-errors (RTHV_WERROR=ON)
 #   2. tier-1 test suite (ctest), then the fault-injection campaigns as an
 #      explicit stage (ctest -L fault)
-#   3. static analysis: rthv_lint (self-test + src/ + bench/) and, when
-#      installed, clang-tidy over the files changed vs the merge base
-#      (all of src/ on a fresh checkout).
+#   3. static analysis: rthv_lint parser tests, the self-test regression
+#      gate (fixture findings must match the committed EXPECTED_FINDINGS
+#      count exactly), the full-tree scan with a JSON report archived under
+#      artifacts/lint/, and -- when installed -- clang-tidy via the
+#      lint-tidy target plus an incremental pass over the files changed vs
+#      the merge base (all of src/ on a fresh checkout).
 #
 # usage: ci/run_ci.sh [jobs]
 set -euo pipefail
@@ -63,22 +66,33 @@ cp build-ci/bench/ci_perf.json "$archive"
 echo "perf report archived: $archive"
 
 echo "== static analysis =="
+# Parser unit tests first: the semantic rules stand on the declaration
+# parser, so a parser regression must fail before the tree scan runs.
+python3 tools/rthv_lint/parser_test.py
+
+# Lint-regression gate: the self-test re-lints the fixture trees and fails
+# unless the finding set matches the rthv-lint-expect annotations AND the
+# total matches the committed fixtures/EXPECTED_FINDINGS count exactly --
+# both a silently-dead rule and an over-eager one trip it.
 python3 tools/rthv_lint/rthv_lint.py --self-test
-python3 tools/rthv_lint/rthv_lint.py src bench
+
+# Full-tree scan (compile-DB union from the CI build), archived as JSON the
+# same way the perf gate archives its measurements: one report per run,
+# stamped with revision and UTC date, so waiver counts and rule inventory
+# can be compared across history.
+mkdir -p artifacts/lint
+lint_archive="artifacts/lint/lint_$(git rev-parse --short HEAD 2>/dev/null || echo unknown)_$(date -u +%Y%m%dT%H%M%SZ).json"
+python3 tools/rthv_lint/rthv_lint.py \
+  --compile-db build-ci/compile_commands.json \
+  --json "$lint_archive" src bench
+echo "lint report archived: $lint_archive"
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  # Only lint C++ sources changed vs the merge base; full-tree tidy is the
-  # run_static_analysis.sh default instead.
-  base="$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse 'HEAD~1' 2>/dev/null || echo '')"
-  changed=()
-  if [[ -n "$base" ]]; then
-    mapfile -t changed < <(git diff --name-only "$base" -- 'src/**/*.cpp' 'src/*.cpp' | sort)
-  fi
-  if [[ ${#changed[@]} -eq 0 ]]; then
-    mapfile -t changed < <(find src -name '*.cpp' | sort)
-  fi
-  echo "== clang-tidy (${#changed[@]} files) =="
-  clang-tidy -p build-ci --quiet "${changed[@]}"
+  # Pinned-check clang-tidy (.clang-tidy) over all of src/ via the build
+  # target, so CI and `cmake --build build --target lint-tidy` run the
+  # exact same invocation.
+  echo "== clang-tidy (lint-tidy target) =="
+  cmake --build build-ci --target lint-tidy
 else
   echo "== clang-tidy not installed; skipped =="
 fi

@@ -148,7 +148,7 @@ class HypervisorSystem {
   [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const;
 
  private:
-  SystemConfig config_;
+  SystemConfig config_;  // lint: transient(construction config; restore requires an identically configured system)
   sim::Simulator sim_;
   std::unique_ptr<hw::Platform> platform_;
   std::unique_ptr<hv::Hypervisor> hv_;
@@ -159,20 +159,23 @@ class HypervisorSystem {
   bool keep_completions_ = false;
   bool run_to_horizon_ = false;
   bool started_ = false;
+  // lint: transient(external wiring; the client's state rides in client_words)
   CheckpointClient* client_ = nullptr;
   stats::LatencyRecorder recorder_;
   std::vector<hv::CompletedIrq> completions_;
   obs::MetricsRegistry metrics_;
-  obs::MetricsRegistry::HistogramHandle latency_all_;
+  // The handles below are constructor-registered indices into metrics_,
+  // whose snapshot carries the data they point at.
+  obs::MetricsRegistry::HistogramHandle latency_all_;  // lint: transient(registry handle; data lives in metrics_)
   std::array<obs::MetricsRegistry::HistogramHandle,
              static_cast<std::size_t>(stats::HandlingClass::kCount_)>
-      latency_by_class_{};
-  obs::MetricsRegistry::CounterHandle completed_counter_;
+      latency_by_class_{};  // lint: transient(registry handle; data lives in metrics_)
+  obs::MetricsRegistry::CounterHandle completed_counter_;  // lint: transient(registry handle; data lives in metrics_)
   std::array<obs::MetricsRegistry::CounterHandle,
              static_cast<std::size_t>(stats::HandlingClass::kCount_)>
-      completed_by_class_{};
-  obs::MetricsRegistry::CounterHandle queue_dropped_counter_;
-  std::vector<obs::MetricsRegistry::CounterHandle> queue_dropped_by_partition_;
+      completed_by_class_{};  // lint: transient(registry handle; data lives in metrics_)
+  obs::MetricsRegistry::CounterHandle queue_dropped_counter_;  // lint: transient(registry handle; data lives in metrics_)
+  std::vector<obs::MetricsRegistry::CounterHandle> queue_dropped_by_partition_;  // lint: transient(registry handle; data lives in metrics_)
 };
 
 }  // namespace rthv::core

@@ -41,7 +41,7 @@ class TraceIrqDriver {
   void arm_next();
 
   hw::HwTimer& timer_;
-  workload::Trace trace_;
+  workload::Trace trace_;  // lint: transient(attached trace data is immutable; next_ is the replay cursor)
   std::size_t next_ = 0;
   bool started_ = false;
 };

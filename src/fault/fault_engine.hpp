@@ -59,8 +59,9 @@ class FaultEngine final : public core::CheckpointClient {
 
  private:
   core::HypervisorSystem& system_;
-  InjectionContext ctx_;
+  InjectionContext ctx_;  // lint: transient(bundle of references into the live system; no state of its own)
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
+  // lint: transient(tracks physical hook installation on the live system; restore neither installs nor removes hooks)
   bool armed_ = false;
 };
 

@@ -92,13 +92,13 @@ class FaultInjector {
 
   [[nodiscard]] hw::IrqLine source_line() const { return spec_.source + 1; }
 
-  InjectionSpec spec_;
+  InjectionSpec spec_;  // lint: transient(plan entry copied at construction; never mutated)
   sim::Xoshiro256 rng_;
 
  private:
-  obs::MetricsRegistry::CounterHandle counter_;
-  std::uint32_t trace_partition_ = UINT32_MAX;  // obs::kNoId
-  std::uint32_t trace_source_ = UINT32_MAX;
+  obs::MetricsRegistry::CounterHandle counter_;  // lint: transient(registry handle re-registered at arm; data lives in the system's metrics)
+  std::uint32_t trace_partition_ = UINT32_MAX;  // obs::kNoId  // lint: transient(derived from config at arm; constant thereafter)
+  std::uint32_t trace_source_ = UINT32_MAX;  // lint: transient(derived from config at arm; constant thereafter)
   std::uint64_t injected_ = 0;
 };
 
@@ -164,6 +164,7 @@ class ClockDriftInjector final : public FaultInjector {
 
   std::int64_t epoch_ns_ = 0;
   bool installed_ = false;
+  // lint: transient(live-system wiring captured by arm(); restore_state reuses it to re-install the transform)
   InjectionContext* armed_ctx_ = nullptr;
 };
 
@@ -217,7 +218,7 @@ class AdversaryInjector final : public FaultInjector {
   [[nodiscard]] sim::TimePoint earliest_admissible(sim::TimePoint now) const;
   void shadow_record(sim::TimePoint t);
 
-  mon::DeltaVector deltas_;
+  mon::DeltaVector deltas_;  // lint: transient(mirror of the monitor's configured vector, built at arm; constant thereafter)
   std::vector<sim::TimePoint> shadow_;  // [0] = most recent raise
   std::size_t shadow_count_ = 0;
   std::uint64_t raises_done_ = 0;

@@ -159,13 +159,13 @@ class GuestKernel final : public hv::PartitionClient {
   static constexpr TaskId kNone = std::numeric_limits<TaskId>::max();
 
   sim::Simulator& sim_;
-  std::string name_;
+  std::string name_;  // lint: transient(construction-time label; never mutated)
   std::vector<Task> tasks_;
   bool started_ = false;
-  BottomHandlerCallback bh_callback_;
-  JobCompleteCallback job_callback_;
-  std::function<void()> wake_callback_;
-  DeadlineMissCallback deadline_callback_;
+  BottomHandlerCallback bh_callback_;  // lint: transient(owner wiring, re-established at system assembly)
+  JobCompleteCallback job_callback_;  // lint: transient(owner wiring, re-established at system assembly)
+  std::function<void()> wake_callback_;  // lint: transient(owner wiring, re-established at system assembly)
+  DeadlineMissCallback deadline_callback_;  // lint: transient(owner wiring, re-established at system assembly)
   std::uint64_t bh_seen_ = 0;
   std::uint64_t rr_cursor_ = 0;  // rotation point for equal priorities
   // The single outstanding work unit's bookkeeping (see next_work()).

@@ -94,11 +94,11 @@ class HealthMonitor {
   }
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_;  // lint: transient(structural ring bound fixed at construction)
   std::deque<HealthEvent> ring_;
   std::array<std::uint64_t, static_cast<std::size_t>(HealthEventKind::kCount_)> counts_{};
-  Callback callback_;
-  obs::TraceRing* trace_ = nullptr;
+  Callback callback_;  // lint: transient(owner wiring, re-established at system assembly)
+  obs::TraceRing* trace_ = nullptr;  // lint: transient(trace wiring; the ring is snapshotted by its owner)
 };
 
 }  // namespace rthv::hv

@@ -372,7 +372,7 @@ class Hypervisor {
   }
 
   hw::Platform& platform_;
-  OverheadModel overheads_;
+  OverheadModel overheads_;  // lint: transient(cost-model config fixed before start)
   sim::TraceLog trace_;
 
   std::vector<Partition> partitions_;
@@ -382,22 +382,22 @@ class Hypervisor {
   // per-IRQ path reads (SoA, contiguous); names and monitor ownership stay
   // here. kInvalidSource marks lines without a source.
   static constexpr IrqSourceId kInvalidSource = LineTable::kNoSource;
-  std::vector<IrqSourceConfig> source_configs_;
+  std::vector<IrqSourceConfig> source_configs_;  // lint: transient(per-source config fixed by add_irq_source before start)
   std::vector<std::unique_ptr<mon::ActivationMonitor>> owned_monitors_;
   SourceTable srcs_;
-  LineTable lines_;
+  LineTable lines_;  // lint: transient(line-to-source mapping built by add_irq_source before start)
   IrqBatch batch_;
-  std::size_t batch_limit_ = IrqBatch::kCapacity;
+  std::size_t batch_limit_ = IrqBatch::kCapacity;  // lint: transient(tuning knob set before start)
 
   std::unique_ptr<IpcRouter> ipc_;
   SamplingPortBus ports_;
 
-  hw::HwTimer* tdma_timer_ = nullptr;  // owned by the platform
-  hw::IrqLine tdma_line_ = 0;
+  hw::HwTimer* tdma_timer_ = nullptr;  // owned by the platform  // lint: transient(platform wiring; the timer's state is in the platform snapshot)
+  hw::IrqLine tdma_line_ = 0;  // lint: transient(line assignment fixed at start)
 
-  TopHandlerMode mode_ = TopHandlerMode::kOriginal;
-  CompletionHook completion_hook_;
-  ContextHook context_hook_;
+  TopHandlerMode mode_ = TopHandlerMode::kOriginal;  // lint: transient(experiment config set before start; never changes mid-run)
+  CompletionHook completion_hook_;  // lint: transient(owner wiring, re-established at system assembly)
+  ContextHook context_hook_;  // lint: transient(owner wiring, re-established at system assembly)
 
   bool started_ = false;
   bool hv_busy_ = false;

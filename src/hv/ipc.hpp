@@ -61,7 +61,7 @@ class IpcRouter {
   }
 
  private:
-  std::size_t capacity_;
+  std::size_t capacity_;  // lint: transient(structural mailbox bound fixed at construction)
   std::vector<std::deque<IpcMessage>> mailboxes_;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;

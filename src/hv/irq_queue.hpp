@@ -14,6 +14,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "hv/types.hpp"
@@ -79,9 +80,12 @@ class IrqQueue {
   [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
   [[nodiscard]] std::size_t high_watermark() const { return high_watermark_; }
 
-  /// Checkpoint of the ring contents and counters (capacity is structural,
-  /// the drop observer is wiring).
+  /// Checkpoint of the ring contents and counters (the drop observer is
+  /// wiring). The structural capacity is serialized too, making the stream
+  /// self-describing: restoring onto a differently-sized queue throws in
+  /// every build type instead of only assert-tripping in debug.
   void snapshot_state(sim::StateWriter& w) const {
+    w.u64(capacity_);
     w.pod_vec(slots_);
     w.u64(head_);
     w.u64(size_);
@@ -90,6 +94,9 @@ class IrqQueue {
     w.u64(high_watermark_);
   }
   void restore_state(sim::StateReader& r) {
+    if (r.u64() != capacity_) {
+      throw std::logic_error("IrqQueue::restore_state: capacity changed");
+    }
     r.pod_vec(slots_);
     assert(slots_.size() == capacity_ && "IrqQueue capacity changed across restore");
     head_ = r.u64();
@@ -104,7 +111,7 @@ class IrqQueue {
   std::vector<IrqEvent> slots_;  // ring storage, sized once at construction
   std::size_t head_ = 0;
   std::size_t size_ = 0;
-  DropObserver on_drop_;
+  DropObserver on_drop_;  // lint: transient(owner wiring, re-established at system assembly)
   std::uint64_t drops_ = 0;
   std::uint64_t pushed_ = 0;
   std::size_t high_watermark_ = 0;

@@ -37,9 +37,11 @@ class Partition {
   /// A bottom handler whose execution started but was preempted (or whose
   /// interpose budget expired before completion). Resumes ahead of new
   /// queue events to preserve FIFO order.
+  // lint: transient(holds a std::function completion; the Hypervisor snapshot carries it as a C++ object)
   std::optional<WorkUnit> bh_in_progress;
 
   /// Guest task work preempted by an IRQ or slot end.
+  // lint: transient(holds a std::function completion; the Hypervisor snapshot carries it as a C++ object)
   std::optional<WorkUnit> saved_guest_work;
 
   // --- accounting ---------------------------------------------------------
@@ -70,10 +72,10 @@ class Partition {
   }
 
  private:
-  PartitionId id_;
-  std::string name_;
+  PartitionId id_;  // lint: transient(structural identity fixed at construction)
+  std::string name_;  // lint: transient(construction-time label; never mutated)
   IrqQueue irq_queue_;
-  PartitionClient* client_ = nullptr;
+  PartitionClient* client_ = nullptr;  // lint: transient(guest wiring, re-established at system assembly)
   bool virtual_irq_enabled_ = true;
   sim::Duration bh_time_;
   sim::Duration guest_time_;

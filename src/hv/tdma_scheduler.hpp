@@ -62,8 +62,8 @@ class TdmaScheduler {
   }
 
  private:
-  std::vector<TdmaSlot> slots_;
-  sim::Duration cycle_;
+  std::vector<TdmaSlot> slots_;  // lint: transient(static schedule table fixed at construction)
+  sim::Duration cycle_;  // lint: transient(derived sum of the static slot table)
   std::size_t index_ = 0;
   sim::TimePoint boundary_;
   std::uint64_t cycles_ = 0;

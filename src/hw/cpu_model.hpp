@@ -81,9 +81,9 @@ class CpuModel {
   }
 
  private:
-  std::uint64_t freq_hz_;
-  std::uint32_t cpi_milli_;
-  std::uint64_t cycle_ps_;  // picoseconds per cycle, exact for 200MHz (5000ps)
+  std::uint64_t freq_hz_;  // lint: transient(hardware constant fixed at construction)
+  std::uint32_t cpi_milli_;  // lint: transient(hardware constant fixed at construction)
+  std::uint64_t cycle_ps_;  // picoseconds per cycle, exact for 200MHz (5000ps)  // lint: transient(derived hardware constant)
   std::array<std::uint64_t, static_cast<std::size_t>(WorkCategory::kCount_)> cycles_{};
   /// Duration-denominated retirement ledger (ns), folded into cycles_ on query.
   std::array<std::uint64_t, static_cast<std::size_t>(WorkCategory::kCount_)>

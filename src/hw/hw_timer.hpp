@@ -80,14 +80,14 @@ class HwTimer {
 
   sim::Simulator& sim_;
   InterruptController& intc_;
-  IrqLine line_;
+  IrqLine line_;  // lint: transient(structural line assignment fixed at construction)
   sim::EventId pending_;
   bool armed_ = false;
   sim::TimePoint deadline_;
   sim::Duration reload_;  // zero = one-shot
   std::uint64_t fires_ = 0;
-  std::function<void()> on_expiry_;
-  DeadlineTransform deadline_transform_;
+  std::function<void()> on_expiry_;  // lint: transient(owner wiring, re-established at system assembly)
+  DeadlineTransform deadline_transform_;  // lint: transient(fault wiring; ClockDriftInjector::restore_state re-installs it)
 };
 
 /// Free-running timestamp source (the paper's "second timer" used for

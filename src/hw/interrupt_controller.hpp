@@ -248,24 +248,24 @@ class InterruptController {
   // as bitmask words (priority resolution is a word-AND plus
   // count-trailing-zeros instead of a per-line scan), raise timestamps and
   // loss counters as flat arrays indexed by line.
-  std::uint32_t num_lines_ = 0;
+  std::uint32_t num_lines_ = 0;  // lint: transient(structural line count fixed at construction)
   std::vector<std::uint64_t> pending_;
   std::vector<std::uint64_t> enabled_;
   std::vector<std::uint64_t> direct_;
   std::vector<sim::TimePoint> raise_time_;
   std::vector<std::uint64_t> lost_per_line_;
   bool cpu_irq_enabled_ = true;
-  bool delivering_ = false;  // re-entrancy guard
-  sim::Simulator* sim_ = nullptr;
-  RawIrqEntry irq_entry_raw_ = nullptr;
-  void* irq_entry_ctx_ = nullptr;
-  IrqEntry irq_entry_box_;  // keeps a std::function entry alive for the raw path
-  RawDirectSink direct_sink_ = nullptr;
-  void* direct_sink_ctx_ = nullptr;
-  sim::Duration direct_cost_;
+  bool delivering_ = false;  // re-entrancy guard  // lint: transient(only true inside maybe_deliver; snapshots run between events)
+  sim::Simulator* sim_ = nullptr;  // lint: transient(simulator wiring fixed at attach)
+  RawIrqEntry irq_entry_raw_ = nullptr;  // lint: transient(hypervisor wiring, re-established at system assembly)
+  void* irq_entry_ctx_ = nullptr;  // lint: transient(hypervisor wiring, re-established at system assembly)
+  IrqEntry irq_entry_box_;  // keeps a std::function entry alive for the raw path  // lint: transient(hypervisor wiring, re-established at system assembly)
+  RawDirectSink direct_sink_ = nullptr;  // lint: transient(hypervisor wiring, re-established at system assembly)
+  void* direct_sink_ctx_ = nullptr;  // lint: transient(hypervisor wiring, re-established at system assembly)
+  sim::Duration direct_cost_;  // lint: transient(hardware cost constant fixed at configuration)
   std::uint64_t direct_deliveries_ = 0;
-  RaiseObserver raise_observer_;
-  RaiseObserver lost_raise_observer_;
+  RaiseObserver raise_observer_;  // lint: transient(observability wiring, re-established at system assembly)
+  RaiseObserver lost_raise_observer_;  // lint: transient(observability wiring, re-established at system assembly)
   std::uint64_t raises_ = 0;
   std::uint64_t lost_raises_ = 0;
 };

@@ -73,8 +73,8 @@ class Platform {
   sim::Simulator& sim_;
   CpuModel cpu_;
   InterruptController intc_;
-  MemorySystem memory_;
-  TimestampTimer timestamp_;
+  MemorySystem memory_;  // lint: transient(pure configuration model; no mutable state)
+  TimestampTimer timestamp_;  // lint: transient(stateless view over the simulator clock)
   std::vector<std::unique_ptr<HwTimer>> timers_;
 };
 

@@ -71,7 +71,7 @@ class LearningDeltaMonitor final : public ActivationMonitor {
   void push(sim::TimePoint now);
 
   std::uint64_t learning_remaining_;
-  DeltaVector bound_;
+  DeltaVector bound_;  // lint: transient(configured upper bound; never mutated after construction)
   DeltaVector learned_;
   DeltaVector enforced_;
   std::vector<sim::TimePoint> tracebuffer_;

@@ -139,7 +139,7 @@ class DeltaMinMonitor final : public ActivationMonitor {
   }
 
  private:
-  sim::Duration d_min_;
+  sim::Duration d_min_;  // lint: transient(configured bound; never mutated after construction)
   bool has_previous_ = false;
   sim::TimePoint previous_;
 };
@@ -218,8 +218,8 @@ class DeltaVectorMonitor final : public ActivationMonitor {
     if (count_ < l) ++count_;
   }
 
-  DeltaVector deltas_;
-  std::vector<std::int64_t> delta_ns_;  // raw mirror of deltas_, same order
+  DeltaVector deltas_;  // lint: transient(configured vector; never mutated after construction)
+  std::vector<std::int64_t> delta_ns_;  // raw mirror of deltas_, same order  // lint: transient(derived mirror of the configured vector)
   std::vector<std::int64_t> win_ns_;    // mirrored 2l tracebuffer ring
   std::size_t head_ = 0;                // window start; logical [0] = newest
   std::size_t count_ = 0;               // recorded activations, saturates at l

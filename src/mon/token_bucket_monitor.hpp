@@ -50,8 +50,8 @@ class TokenBucketMonitor final : public ActivationMonitor {
  private:
   void refill(sim::TimePoint now);
 
-  sim::Duration fill_interval_;
-  std::uint32_t depth_;
+  sim::Duration fill_interval_;  // lint: transient(configured rate; never mutated after construction)
+  std::uint32_t depth_;  // lint: transient(configured bucket depth; never mutated after construction)
   std::uint32_t tokens_;
   sim::TimePoint last_refill_;
   bool started_ = false;

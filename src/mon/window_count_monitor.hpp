@@ -45,8 +45,8 @@ class WindowCountMonitor final : public ActivationMonitor {
   }
 
  private:
-  sim::Duration window_;
-  std::uint32_t max_;
+  sim::Duration window_;  // lint: transient(configured window length; never mutated after construction)
+  std::uint32_t max_;  // lint: transient(configured admission cap; never mutated after construction)
   // Ring of the last `max_` admission timestamps; the oldest relevant
   // admission decides whether a new one fits.
   std::vector<sim::TimePoint> admissions_;

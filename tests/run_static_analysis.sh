@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Project static-analysis pass, shared by CI (ci/run_ci.sh) and the
 # sanitizer driver (tests/run_sanitized.sh --lint):
-#   1. rthv_lint self-test (the lint rules themselves must be healthy)
-#   2. rthv_lint over src/ and bench/
-#   3. clang-tidy over the given files (or all of src/) -- skipped with a
+#   1. rthv_lint parser unit tests (the declaration parser the semantic
+#      rules stand on must itself be healthy)
+#   2. rthv_lint self-test: fixture trees + the committed EXPECTED_FINDINGS
+#      count (the lint-regression gate)
+#   3. rthv_lint over src/ and bench/ (unioned with the compile database
+#      when one exists under build*/)
+#   4. clang-tidy over the given files (or all of src/) -- skipped with a
 #      notice when clang-tidy is not installed, so the script stays usable
 #      in minimal containers.
 #
@@ -11,6 +15,9 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "-- rthv_lint parser tests"
+python3 tools/rthv_lint/parser_test.py
 
 echo "-- rthv_lint --self-test"
 python3 tools/rthv_lint/rthv_lint.py --self-test

@@ -1,0 +1,69 @@
+// Seeded determinism-family fixtures: unordered-container iteration,
+// pointer-keyed ordered containers, address-derived seeds, and the
+// rand()/random_device extensions of the no-wallclock family. The ordered
+// folds at the bottom prove the rules stay quiet on deterministic code.
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <random>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fix {
+
+struct Obj {
+  int value = 0;
+};
+
+long fold_unordered() {
+  std::unordered_map<int, long> counts;
+  counts[1] = 10;
+  long total = 0;
+  for (const auto& kv : counts) {  // rthv-lint-expect: det-unordered-iter
+    total += kv.second;
+  }
+  std::unordered_set<int> keys;
+  keys.insert(7);
+  auto it = keys.begin();  // rthv-lint-expect: det-unordered-iter
+  return total + static_cast<long>(*it);
+}
+
+int pointer_keyed(const Obj& a, const Obj& b) {
+  std::map<const Obj*, int> by_ptr;  // rthv-lint-expect: det-pointer-key
+  by_ptr[&a] = 1;
+  by_ptr[&b] = 2;
+  std::set<Obj*> owners;  // rthv-lint-expect: det-pointer-key
+  int sum = 0;
+  for (const auto& kv : by_ptr) sum += kv.second;
+  return sum + static_cast<int>(owners.size());
+}
+
+std::uint64_t address_seed(const Obj& o) {
+  const auto seed = reinterpret_cast<std::uintptr_t>(&o);  // rthv-lint-expect: det-address-seed
+  const std::size_t h = std::hash<const Obj*>{}(&o);  // rthv-lint-expect: det-address-seed
+  return static_cast<std::uint64_t>(seed) ^ h;
+}
+
+int nondeterministic_sources() {
+  std::random_device rd;  // rthv-lint-expect: no-wallclock
+  int noise = rand();  // rthv-lint-expect: no-wallclock
+  srand(42);  // rthv-lint-expect: no-wallclock
+  return static_cast<int>(rd()) + noise;
+}
+
+// Deterministic counterparts: ordered keys, value-keyed maps, explicit
+// seeds. No findings expected below this line. (Variable tracking is
+// name-based per file, so the ordered map gets its own name.)
+long fold_ordered() {
+  std::map<int, long> totals;
+  totals[1] = 10;
+  long total = 0;
+  for (const auto& kv : totals) total += kv.second;
+  std::set<std::uint32_t> ids;
+  ids.insert(3);
+  return total + static_cast<long>(ids.size());
+}
+
+}  // namespace fix

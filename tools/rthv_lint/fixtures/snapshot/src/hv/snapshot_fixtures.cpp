@@ -1,0 +1,11 @@
+// Out-of-line snapshot pair: the declaration parser must associate these
+// bodies with the class model built from the header.
+#include "hv/snapshot_fixtures.hpp"
+
+namespace fix {
+
+void OutOfLine::snapshot_state(Writer& w) const { w.u64(covered_); }
+
+void OutOfLine::restore_state(Reader& r) { covered_ = r.u64(); }
+
+}  // namespace fix

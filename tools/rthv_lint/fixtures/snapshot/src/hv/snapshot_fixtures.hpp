@@ -1,0 +1,148 @@
+// Seeded snapshot-coverage / snapshot-order fixtures. Each intentional
+// violation carries a `rthv-lint-expect:` annotation; the classes without
+// annotations prove the rules stay quiet on covered, waived, helper-inlined
+// and #if-guarded members.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fix {
+
+// Minimal stand-ins for sim::StateWriter / sim::StateReader.
+struct Writer {
+  void u64(std::uint64_t v) { words.push_back(v); }
+  std::vector<std::uint64_t> words;
+};
+struct Reader {
+  std::uint64_t u64() { return words[pos++]; }
+  std::vector<std::uint64_t> words;
+  std::size_t pos = 0;
+};
+
+// A data member never referenced by either side of the pair.
+class MissedBoth {
+ public:
+  void snapshot_state(Writer& w) const {
+    w.u64(a_);
+    w.u64(b_);
+  }
+  void restore_state(Reader& r) {
+    a_ = r.u64();
+    b_ = r.u64();
+  }
+
+ private:
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+  std::uint64_t forgotten_ = 0;  // rthv-lint-expect: snapshot-coverage
+};
+
+// Referenced by the writer but never read back.
+class WriterOnly {
+ public:
+  void snapshot_state(Writer& w) const {
+    w.u64(kept_);
+    w.u64(write_only_);
+  }
+  void restore_state(Reader& r) { kept_ = r.u64(); }
+
+ private:
+  std::uint64_t kept_ = 0;
+  std::uint64_t write_only_ = 0;  // rthv-lint-expect: snapshot-coverage
+};
+
+// Read back but never written -- the stream underruns at runtime.
+class ReaderOnly {
+ public:
+  void snapshot_state(Writer& w) const { w.u64(kept_); }
+  void restore_state(Reader& r) {
+    kept_ = r.u64();
+    read_only_ = r.u64();
+  }
+
+ private:
+  std::uint64_t kept_ = 0;
+  std::uint64_t read_only_ = 0;  // rthv-lint-expect: snapshot-coverage
+};
+
+// A transient waiver without a reason is itself a violation.
+class EmptyReason {
+ public:
+  void snapshot_state(Writer& w) const { w.u64(kept_); }
+  void restore_state(Reader& r) { kept_ = r.u64(); }
+
+ private:
+  std::uint64_t kept_ = 0;
+  std::uint64_t cache_ = 0;  // lint: transient()  rthv-lint-expect: snapshot-coverage
+};
+
+// Writer and reader cover the same members but in different orders: the
+// positional word stream silently swaps the two values.
+class Swapped {
+ public:
+  void snapshot_state(Writer& w) const {  // rthv-lint-expect: snapshot-order
+    w.u64(x_);
+    w.u64(y_);
+  }
+  void restore_state(Reader& r) {
+    y_ = r.u64();
+    x_ = r.u64();
+  }
+
+ private:
+  std::uint64_t x_ = 0;
+  std::uint64_t y_ = 0;
+};
+
+// Clean: helper-method bodies are inlined into the coverage analysis
+// (snapshot_base/restore_base style), a reasoned transient waiver excludes
+// wiring, template members and an #if-guarded member round-trip normally,
+// and a reference member is exempt by type.
+class CleanHelper {
+ public:
+  void snapshot_state(Writer& w) const {
+    snapshot_base(w);
+    w.u64(static_cast<std::uint64_t>(pairs_.size()));
+#if defined(FIX_EXTRA)
+    w.u64(extra_);
+#endif
+  }
+  void restore_state(Reader& r) {
+    restore_base(r);
+    pairs_.resize(r.u64());
+#if defined(FIX_EXTRA)
+    extra_ = r.u64();
+#endif
+  }
+
+ private:
+  void snapshot_base(Writer& w) const { w.u64(count_); }
+  void restore_base(Reader& r) { count_ = r.u64(); }
+
+  std::uint64_t count_ = 0;
+  std::vector<std::pair<int, int>> pairs_;
+  void (*hook_)() = nullptr;  // lint: transient(owner wiring, re-established at assembly)
+  Writer& sink_;
+#if defined(FIX_EXTRA)
+  std::uint64_t extra_ = 0;
+#endif
+
+ public:
+  explicit CleanHelper(Writer& sink) : sink_(sink) {}
+};
+
+// The pair is defined out of line (see snapshot_fixtures.cpp); the member
+// missed there is still reported here, at its declaration.
+class OutOfLine {
+ public:
+  void snapshot_state(Writer& w) const;
+  void restore_state(Reader& r);
+
+ private:
+  std::uint64_t covered_ = 0;
+  std::uint64_t skipped_ = 0;  // rthv-lint-expect: snapshot-coverage
+};
+
+}  // namespace fix

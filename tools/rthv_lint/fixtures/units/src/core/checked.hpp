@@ -1,0 +1,13 @@
+// Conversion helpers: everything declared in core/checked.hpp is exempt
+// from unit-mismatch checking (these ARE the sanctioned conversions).
+#pragma once
+
+#include <cstdint>
+
+namespace fix {
+
+std::int64_t ticks_to_ns(std::int64_t ticks);
+std::int64_t cycles_to_ns(std::int64_t cycles);
+std::int64_t checked_scale(std::int64_t value);
+
+}  // namespace fix

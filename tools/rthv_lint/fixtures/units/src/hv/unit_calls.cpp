@@ -1,0 +1,35 @@
+// Seeded unit-safety fixtures: call sites passing a *_ticks / *_cycles /
+// *_ns expression to a parameter of a different unit suffix. The final
+// block shows the sanctioned escapes: matched units, conversion helpers
+// (suffix-resolving or core/checked.hpp-exempt), and unknown units.
+#include <cstdint>
+
+#include "core/checked.hpp"
+
+namespace fix {
+
+void arm_timer(std::int64_t deadline_ns);
+void wait_ticks(std::int64_t budget_ticks);
+void spin(std::int64_t count_cycles);
+std::int64_t now_ticks();
+
+void driver() {
+  std::int64_t next_ticks = 10;
+  std::int64_t window_ns = 500;
+  std::int64_t cost_cycles = 7;
+
+  arm_timer(next_ticks);  // rthv-lint-expect: unit-mismatch
+  wait_ticks(window_ns);  // rthv-lint-expect: unit-mismatch
+  spin(window_ns);  // rthv-lint-expect: unit-mismatch
+  arm_timer(cost_cycles);  // rthv-lint-expect: unit-mismatch
+  wait_ticks(cost_cycles);  // rthv-lint-expect: unit-mismatch
+
+  // Sanctioned: explicit conversion through a *_to_ns helper, matched
+  // units, a unit-carrying call head, and an exempt checked.hpp helper.
+  arm_timer(ticks_to_ns(next_ticks));
+  arm_timer(window_ns);
+  wait_ticks(now_ticks());
+  spin(checked_scale(window_ns));
+}
+
+}  // namespace fix
