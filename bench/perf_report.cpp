@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/hypervisor_system.hpp"
+#include "core/multicore_system.hpp"
 #include "mon/monitor.hpp"
 #include "obs/trace_ring.hpp"
 #include "sim/event_queue.hpp"
@@ -128,6 +129,55 @@ void full_system_irqs(benchmark::State& state) {
     workload::ExponentialTraceGenerator gen(Duration::us(1444), 7, Duration::us(1444));
     system.attach_trace(0, gen.generate(kIrqs));
     irqs += system.run(Duration::s(60));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
+}
+
+// Multi-core probe: the contended 4-core scenario (core 0 = app partition +
+// monitored interposing hard-RT subscriber with an interconnect burst per
+// bottom handler; cores 1-3 = overlapping-color bandwidth hogs) through the
+// deterministic (time, core, seq) merge loop. `items` are completed IRQs, so
+// the number is comparable with full_system/irqs: the gap is the price of
+// the merge loop plus interconnect accounting.
+void full_system_multicore_irqs(benchmark::State& state) {
+  constexpr std::size_t kIrqs = 2000;
+  std::uint64_t irqs = 0;
+  for (auto _ : state) {
+    core::SystemConfig cfg;
+    cfg.mode = hv::TopHandlerMode::kInterposing;
+    cfg.interconnect.num_cores = 4;
+    cfg.interconnect.conflict_access_ns = 4;
+    core::PartitionSpec app;
+    app.name = "app";
+    app.slot_length = Duration::us(6000);
+    app.color_mask = 0x00FFu;
+    cfg.partitions.push_back(app);
+    core::PartitionSpec rt = app;
+    rt.name = "rt";
+    cfg.partitions.push_back(rt);
+    for (std::uint32_t c = 1; c < 4; ++c) {
+      core::PartitionSpec hog;
+      hog.name = "hog" + std::to_string(c);
+      hog.slot_length = Duration::us(6000);
+      hog.core = c;
+      hog.color_mask = 0x00FFu;
+      hog.mem_accesses_per_us = 10;
+      cfg.partitions.push_back(hog);
+    }
+    core::IrqSourceSpec src;
+    src.name = "rt-irq";
+    src.subscriber = 1;
+    src.c_top = Duration::us(5);
+    src.c_bottom = Duration::us(40);
+    src.monitor = core::MonitorKind::kDeltaMin;
+    src.d_min = Duration::us(1444);
+    src.bh_accesses = 2000;
+    cfg.sources.push_back(src);
+
+    core::MulticoreSystem mc(cfg);
+    workload::ExponentialTraceGenerator gen(Duration::us(1444), 7, Duration::us(1444));
+    mc.attach_trace(0, gen.generate(kIrqs));
+    irqs += mc.run(Duration::s(60));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(irqs));
 }
@@ -476,6 +526,8 @@ int main(int argc, char** argv) {
   benchmark::RegisterBenchmark("full_system/events", full_system_events)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("full_system/irqs", full_system_irqs)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("full_system/multicore_irqs", full_system_multicore_irqs)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark("full_system/irqs_phases/queue", irqs_phases_queue)
       ->Unit(benchmark::kMillisecond);

@@ -31,6 +31,13 @@ ctest --test-dir build-ci --output-on-failure -j "$jobs"
 echo "== fault-injection campaigns (ctest -L fault) =="
 ctest --test-dir build-ci --output-on-failure -L fault -j "$jobs"
 
+# Multi-core determinism and interference: the (time, core, seq) merge must
+# be bit-identical for any --jobs value and any core relabeling, cross-core
+# routing must deliver, and contended admissions must satisfy the
+# interference oracle with contention folded in (and fail it without).
+echo "== multi-core platform (ctest -L multicore) =="
+ctest --test-dir build-ci --output-on-failure -L multicore -j "$jobs"
+
 # Snapshot-driven coverage-guided campaigns: falsifiability (the hunt must
 # find the weakened-monitor violation and replay it standalone), jobs
 # determinism, and the >=10x edge over the random baseline.

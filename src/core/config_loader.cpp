@@ -28,6 +28,19 @@ std::int64_t parse_int(std::size_t line, const std::string& value) {
   }
 }
 
+std::uint32_t parse_mask(std::size_t line, const std::string& value) {
+  // Color masks read naturally in hex; accept any std::stoul base-0 prefix.
+  try {
+    std::size_t consumed = 0;
+    const unsigned long v = std::stoul(value, &consumed, 0);
+    if (consumed != value.size()) throw std::invalid_argument("trailing garbage");
+    if (v > 0xFFFF'FFFFul) throw std::invalid_argument("mask exceeds 32 bits");
+    return static_cast<std::uint32_t>(v);
+  } catch (const std::exception&) {
+    throw ConfigError(line, "expected a 32-bit mask, got '" + value + "'");
+  }
+}
+
 bool parse_bool(std::size_t line, const std::string& value) {
   if (value == "true" || value == "1" || value == "yes") return true;
   if (value == "false" || value == "0" || value == "no") return false;
@@ -63,7 +76,10 @@ SystemConfig load_config(std::istream& is) {
   cfg.partitions.clear();
   cfg.sources.clear();
 
-  enum class Section { kNone, kPlatform, kOverheads, kMode, kPartition, kSource, kSlot };
+  enum class Section {
+    kNone, kPlatform, kOverheads, kMode, kPartition, kSource, kSlot,
+    kInterconnect, kCore,
+  };
   Section section = Section::kNone;
   std::size_t line_no = 0;
   std::string line;
@@ -106,6 +122,12 @@ SystemConfig load_config(std::istream& is) {
       } else if (name == "slot") {
         section = Section::kSlot;
         cfg.schedule.push_back(ScheduleSlot{0, sim::Duration::zero()});
+      } else if (name == "interconnect") {
+        section = Section::kInterconnect;
+      } else if (name == "core") {
+        // One [core] section per core, in core-id order: regulation budget.
+        section = Section::kCore;
+        cfg.interconnect.budgets.push_back(hw::CoreBandwidthBudget{});
       } else {
         throw ConfigError(line_no, "unknown section [" + name + "]");
       }
@@ -164,6 +186,45 @@ SystemConfig load_config(std::istream& is) {
           throw ConfigError(line_no, "unknown mode key '" + key + "'");
         }
         break;
+      case Section::kInterconnect:
+        if (key == "cores") {
+          cfg.interconnect.num_cores = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "colors") {
+          cfg.interconnect.num_colors = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "epoch_us") {
+          cfg.interconnect.epoch = sim::Duration::us(parse_int(line_no, value));
+        } else if (key == "base_access_ns") {
+          cfg.interconnect.base_access_ns =
+              static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "conflict_access_ns") {
+          cfg.interconnect.conflict_access_ns =
+              static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "half_load_accesses") {
+          cfg.interconnect.half_load_accesses =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "route_latency_us") {
+          cfg.interconnect.route_latency = sim::Duration::us(parse_int(line_no, value));
+        } else if (key == "route_accesses") {
+          cfg.interconnect.route_accesses =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else {
+          throw ConfigError(line_no, "unknown interconnect key '" + key + "'");
+        }
+        break;
+      case Section::kCore:
+        if (cfg.interconnect.budgets.empty()) {
+          throw ConfigError(line_no, "no [core] open");
+        }
+        if (key == "budget_accesses") {
+          cfg.interconnect.budgets.back().budget_accesses =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
+        } else if (key == "replenish_us") {
+          cfg.interconnect.budgets.back().replenish_period =
+              sim::Duration::us(parse_int(line_no, value));
+        } else {
+          throw ConfigError(line_no, "unknown core key '" + key + "'");
+        }
+        break;
       case Section::kPartition:
         if (key == "name") {
           current_partition().name = value;
@@ -171,6 +232,13 @@ SystemConfig load_config(std::istream& is) {
           current_partition().slot_length = sim::Duration::us(parse_int(line_no, value));
         } else if (key == "background_load") {
           current_partition().background_load = parse_bool(line_no, value);
+        } else if (key == "core") {
+          current_partition().core = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "color_mask") {
+          current_partition().color_mask = parse_mask(line_no, value);
+        } else if (key == "mem_accesses_per_us") {
+          current_partition().mem_accesses_per_us =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
         } else {
           throw ConfigError(line_no, "unknown partition key '" + key + "'");
         }
@@ -202,6 +270,13 @@ SystemConfig load_config(std::istream& is) {
         } else if (key == "window_events") {
           current_source().window_events =
               static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "direct_delivery") {
+          current_source().direct_delivery = parse_bool(line_no, value);
+        } else if (key == "core") {
+          current_source().core = static_cast<std::uint32_t>(parse_int(line_no, value));
+        } else if (key == "bh_accesses") {
+          current_source().bh_accesses =
+              static_cast<std::uint64_t>(parse_int(line_no, value));
         } else {
           throw ConfigError(line_no, "unknown source key '" + key + "'");
         }
@@ -236,6 +311,23 @@ SystemConfig load_config(std::istream& is) {
       throw std::invalid_argument("[slot] entry without a positive length_us");
     }
   }
+  if (cfg.num_cores() == 0) {
+    throw std::invalid_argument("[interconnect] cores must be >= 1");
+  }
+  for (const auto& p : cfg.partitions) {
+    if (p.core >= cfg.num_cores()) {
+      throw std::invalid_argument("partition '" + p.name + "' assigned to core " +
+                                  std::to_string(p.core) + " of " +
+                                  std::to_string(cfg.num_cores()));
+    }
+  }
+  for (const auto& s : cfg.sources) {
+    if (s.core >= cfg.num_cores()) {
+      throw std::invalid_argument("source '" + s.name + "' originates on core " +
+                                  std::to_string(s.core) + " of " +
+                                  std::to_string(cfg.num_cores()));
+    }
+  }
   return cfg;
 }
 
@@ -262,11 +354,37 @@ void save_config(std::ostream& os, const SystemConfig& cfg) {
      << (cfg.mode == hv::TopHandlerMode::kInterposing ? "true" : "false") << "\n"
      << "background_quantum_us = " << cfg.background_quantum.count_ns() / 1000 << "\n"
      << "irq_queue_capacity = " << cfg.irq_queue_capacity << "\n";
+  // Multi-core sections are emitted only when in use, so single-core
+  // configs round-trip byte-identically with older versions.
+  if (cfg.num_cores() > 1 || !cfg.interconnect.budgets.empty()) {
+    const hw::InterconnectConfig& ic = cfg.interconnect;
+    os << "\n[interconnect]\n"
+       << "cores = " << ic.num_cores << "\n"
+       << "colors = " << ic.num_colors << "\n"
+       << "epoch_us = " << ic.epoch.count_ns() / 1000 << "\n"
+       << "base_access_ns = " << ic.base_access_ns << "\n"
+       << "conflict_access_ns = " << ic.conflict_access_ns << "\n"
+       << "half_load_accesses = " << ic.half_load_accesses << "\n"
+       << "route_latency_us = " << ic.route_latency.count_ns() / 1000 << "\n"
+       << "route_accesses = " << ic.route_accesses << "\n";
+    for (const auto& b : ic.budgets) {
+      os << "\n[core]\n"
+         << "budget_accesses = " << b.budget_accesses << "\n"
+         << "replenish_us = " << b.replenish_period.count_ns() / 1000 << "\n";
+    }
+  }
   for (const auto& p : cfg.partitions) {
     os << "\n[partition]\n"
        << "name = " << p.name << "\n"
        << "slot_us = " << p.slot_length.count_ns() / 1000 << "\n"
        << "background_load = " << (p.background_load ? "true" : "false") << "\n";
+    if (p.core != 0) os << "core = " << p.core << "\n";
+    if (p.color_mask != 0xFFFF'FFFFu) {
+      os << "color_mask = 0x" << std::hex << p.color_mask << std::dec << "\n";
+    }
+    if (p.mem_accesses_per_us != 0) {
+      os << "mem_accesses_per_us = " << p.mem_accesses_per_us << "\n";
+    }
   }
   for (const auto& s : cfg.sources) {
     os << "\n[source]\n"
@@ -311,6 +429,9 @@ void save_config(std::ostream& os, const SystemConfig& cfg) {
            << "window_events = " << s.window_events << "\n";
         break;
     }
+    if (s.direct_delivery) os << "direct_delivery = true\n";
+    if (s.core != 0) os << "core = " << s.core << "\n";
+    if (s.bh_accesses != 0) os << "bh_accesses = " << s.bh_accesses << "\n";
   }
   for (const auto& s : cfg.schedule) {
     os << "\n[slot]\n"

@@ -86,6 +86,7 @@ HypervisorSystem::HypervisorSystem(const SystemConfig& config)
     }
     kernel->set_wake_callback([this, id] { hv_->notify_work_available(id); });
     hv_->set_partition_client(id, kernel.get());
+    hv_->set_partition_memory(id, p.color_mask, p.mem_accesses_per_us);
     guests_.push_back(std::move(kernel));
   }
   for (const auto& s : config_.schedule) {
@@ -109,6 +110,14 @@ HypervisorSystem::HypervisorSystem(const SystemConfig& config)
     src.subscriber = s.subscriber;
     src.c_top = s.c_top;
     src.c_bottom = s.c_bottom;
+    src.bh_accesses = s.bh_accesses;
+    // The d_min backing the delta^- admission check, for contention-aware
+    // normalization -- the same extraction the interference oracle uses.
+    if (s.monitor == MonitorKind::kDeltaMin) {
+      src.admit_d_min = s.d_min;
+    } else if (s.monitor == MonitorKind::kDeltaVector && !s.delta_vector.empty()) {
+      src.admit_d_min = s.delta_vector[0];
+    }
     const auto sid = hv_->add_irq_source(src);
     if (auto monitor = build_monitor(s)) {
       hv_->set_monitor(sid, std::move(monitor));

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "hv/hypervisor.hpp"
+#include "hw/multicore/interconnect.hpp"
 #include "hw/platform.hpp"
 #include "mon/monitor.hpp"
 #include "sim/time.hpp"
@@ -33,6 +34,17 @@ struct PartitionSpec {
   /// Give the partition a background guest task (busy load) so delayed
   /// bottom handlers actually compete with running code.
   bool background_load = true;
+
+  /// Core hosting this partition. Single-core systems leave the default;
+  /// MulticoreSystem splits partitions (and their schedule slots) per core.
+  std::uint32_t core = 0;
+  /// LLC color mask assigned to the partition (cache coloring). 0 and
+  /// all-ones both mean "uncolored": the partition uses every color.
+  std::uint32_t color_mask = 0xFFFF'FFFFu;
+  /// Memory-access demand of the partition's guest code, registered on the
+  /// interconnect per microsecond of executed guest/BH work. 0 = the
+  /// partition generates no interconnect pressure.
+  std::uint64_t mem_accesses_per_us = 0;
 };
 
 struct IrqSourceSpec {
@@ -54,6 +66,16 @@ struct IrqSourceSpec {
   /// observes via a shadow channel but gates nothing. See
   /// hw::PlatformConfig::direct_delivery_cycles for the hardware cost.
   bool direct_delivery = false;
+
+  /// Core whose interrupt distributor the device is wired to. When it
+  /// differs from the subscriber partition's core, MulticoreSystem routes
+  /// raises across the interconnect (route latency + an uncolored burst)
+  /// before latching the line on the subscriber's core.
+  std::uint32_t core = 0;
+  /// Interconnect burst issued by one bottom-handler execution. Under
+  /// contention the burst's stall inflates C'_BH, and the delta^- admission
+  /// check accounts for that inflation (see hv::Hypervisor docs).
+  std::uint64_t bh_accesses = 0;
 };
 
 struct ScheduleSlot {
@@ -83,6 +105,15 @@ struct SystemConfig {
   /// so deep runs never reallocate queue tables mid-simulation.
   std::size_t expected_pending_events = 0;
   sim::Duration sim_horizon_hint = sim::Duration::zero();
+
+  /// Shared-interconnect model (multi-core only). num_cores == 1 keeps the
+  /// single-core HypervisorSystem semantics: no interconnect is built and
+  /// no contention is charged anywhere. num_cores > 1 systems are
+  /// assembled by core::MulticoreSystem, which validates that every core
+  /// in [0, num_cores) hosts at least one partition.
+  hw::InterconnectConfig interconnect;
+
+  [[nodiscard]] std::uint32_t num_cores() const { return interconnect.num_cores; }
 
   [[nodiscard]] sim::Duration tdma_cycle() const;
 

@@ -22,6 +22,25 @@
 //     top-handler, monitor or scheduler events are excluded (and counted):
 //     their wall-clock includes preempting work that Eq. 14 attributes to
 //     the preempting source, not this interposition.
+//
+// Shared-interconnect fold (multi-core). On a contended interconnect an
+// admitted interposition costs C'_BH + charge, where `charge` is the
+// deterministic contention stall of the handler's access burst
+// (hw::SharedInterconnect). Each admission emits a kInterposeCharge record
+// (arg0 = the normalized-clock shift ceil(charge * d_min / C'_BH), arg1 =
+// charge), and the oracle folds both halves:
+//   - Admission count: replayed on the same normalized clock the hypervisor
+//     feeds its monitor, t' = t - acc with acc the running sum of shifts.
+//     n admissions passing the d_min check on t' span real time
+//     dt >= dt' = (n-1) * d_min, and their total cost n*C'_BH + sum(charge)
+//     <= (n + sum(shift)/d_min) * C'_BH <= ceil((dt' + sum(shift))/d_min) *
+//     C'_BH <= I(dt): the normalized check conserves Eq. 14 for the
+//     inflated costs.
+//   - Per-interposition cost: the admitted span's allowance is extended by
+//     exactly its frozen charge (C'_BH + charge).
+// set_fold_contention(false) replays raw times with no allowance -- used by
+// tests to demonstrate that contended runs genuinely exceed the uncorrected
+// bound, i.e. the fold is load-bearing, not slack.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +80,8 @@ struct OracleReport {
   std::uint64_t windows_checked = 0;   // admission windows tested (one per event)
   std::uint64_t spans_checked = 0;     // uninterrupted enter->exit spans tested
   std::uint64_t preempted_spans = 0;   // spans excluded from the cost check
+  std::uint64_t contention_charges = 0;   // kInterposeCharge records folded
+  std::int64_t total_charge_ns = 0;       // sum of folded contention stalls
   std::int64_t max_interposition_ns = 0;  // worst span + pre_cost observed
   double worst_ratio = 0.0;  // max admitted/bound over all checked windows
   std::vector<OracleViolation> violations;       // count violations (Eq. 14)
@@ -93,8 +114,16 @@ class InterferenceOracle {
     return params_;
   }
 
+  /// Fold kInterposeCharge records into the bound (default on). Off, the
+  /// oracle replays raw raise times against an unextended C'_BH -- a
+  /// contended multi-core run then *must* report violations, which is the
+  /// falsifiability check that the fold carries real weight.
+  void set_fold_contention(bool on) { fold_contention_ = on; }
+  [[nodiscard]] bool fold_contention() const { return fold_contention_; }
+
  private:
   std::vector<OracleSourceParams> params_;
+  bool fold_contention_ = true;
 };
 
 }  // namespace rthv::fault

@@ -32,6 +32,18 @@ struct SourceTable {
   std::vector<std::uint8_t> direct_hw;          // UINTC-style delivery flag
   std::vector<std::uint64_t> next_seq;          // per-source sequence counter
 
+  // Shared-interconnect coupling (all zero on single-core systems).
+  std::vector<std::uint64_t> bh_accesses;  // burst of one bottom handler
+  std::vector<sim::Duration> admit_d_min;  // d_min backing the delta^- check
+  std::vector<sim::Duration> c_bh_eff;     // Eq. 13 C'_BH (inflation denominator)
+  /// Accumulated normalized-clock shift from contention-inflated admissions:
+  /// each admitted interposition with stall `charge` adds
+  /// ceil(charge * d_min / C'_BH), and the monitor observes
+  /// t' = raise - infl_acc so Eq. 14 stays an upper bound (see
+  /// Hypervisor::normalized_observation).
+  std::vector<sim::Duration> infl_acc;
+  std::vector<std::int64_t> last_norm_ns;  // monotonicity clamp of t'
+
   [[nodiscard]] std::uint32_t size() const {
     return static_cast<std::uint32_t>(subscriber.size());
   }
@@ -44,6 +56,11 @@ struct SourceTable {
     monitor.push_back(nullptr);
     direct_hw.push_back(0);
     next_seq.push_back(0);
+    bh_accesses.push_back(0);
+    admit_d_min.push_back(sim::Duration::zero());
+    c_bh_eff.push_back(sim::Duration::zero());
+    infl_acc.push_back(sim::Duration::zero());
+    last_norm_ns.push_back(INT64_MIN);
     return id;
   }
 };

@@ -27,6 +27,8 @@ PartitionId Hypervisor::add_partition(std::string name, std::size_t irq_queue_ca
   assert(!started_);
   const auto id = static_cast<PartitionId>(partitions_.size());
   partitions_.emplace_back(id, std::move(name), irq_queue_capacity);
+  part_color_mask_.push_back(0xFFFF'FFFFu);  // uncolored by default
+  part_mem_apu_.push_back(0);
   return id;
 }
 
@@ -54,6 +56,9 @@ IrqSourceId Hypervisor::add_irq_source(const IrqSourceConfig& config) {
   assert(config.c_bottom.is_positive());
   assert(lines_.at(config.line) == kInvalidSource && "one source per IRQ line");
   const IrqSourceId id = srcs_.add(config.subscriber, config.c_top, config.c_bottom);
+  srcs_.bh_accesses[id] = config.bh_accesses;
+  srcs_.admit_d_min[id] = config.admit_d_min;
+  srcs_.c_bh_eff[id] = overheads_.effective_bottom_cost(config.c_bottom);
   source_configs_.push_back(config);
   owned_monitors_.emplace_back();
   lines_.source[config.line] = id;
@@ -73,6 +78,24 @@ void Hypervisor::set_direct_delivery(IrqSourceId source, bool on) {
 
 void Hypervisor::set_partition_client(PartitionId p, PartitionClient* client) {
   partitions_.at(p).set_client(client);
+}
+
+void Hypervisor::set_partition_memory(PartitionId p, std::uint32_t color_mask,
+                                      std::uint64_t mem_accesses_per_us) {
+  assert(!started_);
+  part_color_mask_.at(p) = color_mask;
+  part_mem_apu_.at(p) = mem_accesses_per_us;
+}
+
+sim::TimePoint Hypervisor::normalized_observation(IrqSourceId sid, TimePoint raise) {
+  std::int64_t t = raise.count_ns() - srcs_.infl_acc[sid].count_ns();
+  // Monotonicity clamp: a raise landing closer than the accumulated shift
+  // would step the normalized clock backwards; clamping pins the observed
+  // distance at zero, which any delta^- monitor with a positive bound
+  // denies -- exactly the conservative verdict.
+  if (t < srcs_.last_norm_ns[sid]) t = srcs_.last_norm_ns[sid];
+  srcs_.last_norm_ns[sid] = t;
+  return TimePoint::at_ns(t);
 }
 
 void Hypervisor::start() {
@@ -291,7 +314,11 @@ void Hypervisor::finish_top_batch(TimePoint ta) {
 
     bool admitted = false;
     mon::ActivationMonitor* monitor = srcs_.monitor[sid];
-    if (monitor != nullptr) admitted = monitor->record_and_check(ev.raise_time);
+    if (monitor != nullptr) {
+      // The monitor observes normalized time: raw raise minus the source's
+      // accumulated contention inflation (identity without an interconnect).
+      admitted = monitor->record_and_check(normalized_observation(sid, ev.raise_time));
+    }
     ev.admitted_interpose = admitted;
     item.admitted = admitted ? 1 : 0;
 
@@ -411,6 +438,38 @@ void Hypervisor::finish_top_batch(TimePoint ta) {
     return;
   }
 
+  // Contention-aware admission commit: the winner's bottom-handler burst is
+  // charged against the shared interconnect *here*, at decision-freeze time,
+  // so the budget extension, the work-unit inflation at pop, the trace
+  // record and the monitor's normalized clock all use one frozen number.
+  // The inflation ceil(charge * d_min / C'_BH) shifts the source's
+  // normalized clock back: each admission that costs C'_BH + charge consumes
+  // charge/C'_BH extra interference quota under Eq. 14, and the shift makes
+  // the constant-d_min check conservatively account for it (ARCHITECTURE.md,
+  // "Contention-aware admission").
+  Duration win_charge;
+  Duration win_infl;
+  {
+    const IrqSourceId sid = batch_.items[static_cast<std::size_t>(winner)].source;
+    hw::SharedInterconnect* icx = platform_.interconnect();
+    if (icx != nullptr && srcs_.bh_accesses[sid] != 0) {
+      win_charge = icx->contention_stall(platform_.core_id(),
+                                         part_color_mask_[srcs_.subscriber[sid]],
+                                         srcs_.bh_accesses[sid], now());
+      if (win_charge.is_positive() && srcs_.admit_d_min[sid].is_positive() &&
+          srcs_.c_bh_eff[sid].is_positive()) {
+        // ceil(charge * d_min / C'_BH), factored as (charge/C)*d_min +
+        // ceil((charge%C)*d_min / C) so the intermediates stay within u64.
+        const auto a = static_cast<std::uint64_t>(win_charge.count_ns());
+        const auto b = static_cast<std::uint64_t>(srcs_.admit_d_min[sid].count_ns());
+        const auto c = static_cast<std::uint64_t>(srcs_.c_bh_eff[sid].count_ns());
+        const std::uint64_t infl = (a / c) * b + ((a % c) * b + c - 1) / c;
+        win_infl = Duration::ns(static_cast<std::int64_t>(infl));
+        srcs_.infl_acc[sid] += win_infl;
+      }
+    }
+  }
+
   // Admitted winner: monitoring function(s), scheduler manipulation and the
   // context switch into the subscriber collapse into one fused continuation
   // at Td = Ta + n*C_Mon + C_sched + C_ctx. The intermediate decision
@@ -423,7 +482,8 @@ void Hypervisor::finish_top_batch(TimePoint ta) {
       tb + overheads_.sched_manipulation_cost() + overheads_.context_switch_cost();
   platform_.simulator().schedule_after(
       td - now(),
-      [this, ta, tb, apply_denies, win = static_cast<std::size_t>(winner)] {
+      [this, ta, tb, apply_denies, win = static_cast<std::size_t>(winner), win_charge,
+       win_infl] {
         emit_batch_records(ta);
         apply_denies(tb);
         const BatchItem& item = batch_.items[win];
@@ -437,8 +497,17 @@ void Hypervisor::finish_top_batch(TimePoint ta) {
         trace_at(tb, TracePoint::kInterposeStart, TraceCategory::kInterpose, target,
                  sid, static_cast<std::uint64_t>(item.event.raise_time.count_ns()),
                  item.event.seq);
+        if (win_charge.is_positive()) {
+          // Companion record the oracle folds into Eq. 14: arg0 is the
+          // normalized-clock shift, arg1 the span-cost allowance.
+          trace_at(tb, TracePoint::kInterposeCharge, TraceCategory::kInterpose,
+                   target, sid, static_cast<std::uint64_t>(win_infl.count_ns()),
+                   static_cast<std::uint64_t>(win_charge.count_ns()));
+        }
         ++ctx_stats_.interpose_enter;
-        interpose_ = Interpose{current_partition_, sid, srcs_.c_bottom[sid]};
+        interpose_ =
+            Interpose{current_partition_, sid, srcs_.c_bottom[sid] + win_charge,
+                      win_charge};
         current_partition_ = target;
         trace(TracePoint::kInterposeEnter, TraceCategory::kInterpose, target, sid);
         if (context_hook_) {
@@ -597,7 +666,9 @@ void Hypervisor::on_direct_delivery(hw::IrqLine line, TimePoint raise_time) {
   // records every event) but its verdict gates nothing -- direct-delivery
   // hardware does not consult it.
   mon::ActivationMonitor* monitor = srcs_.monitor[sid];
-  if (monitor != nullptr) (void)monitor->record_and_check(raise_time);
+  if (monitor != nullptr) {
+    (void)monitor->record_and_check(normalized_observation(sid, raise_time));
+  }
   trace(TracePoint::kDirectDeliver, TraceCategory::kIrq, sub, sid,
         static_cast<std::uint64_t>(raise_time.count_ns()), seq);
   // The bottom handler runs to completion on the dedicated delivery path,
@@ -651,8 +722,29 @@ void Hypervisor::dispatch_partition_work() {
 
   auto pop_bh = [this, &p] {
     IrqEvent ev = p.irq_queue().pop();
-    p.bh_in_progress = WorkUnit{hw::WorkCategory::kBottomHandler,
-                                srcs_.c_bottom[ev.source], nullptr, ev};
+    Duration cost = srcs_.c_bottom[ev.source];
+    hw::SharedInterconnect* icx = platform_.interconnect();
+    if (icx != nullptr && srcs_.bh_accesses[ev.source] != 0) {
+      // The handler's burst stalls under contention, inflating its cost
+      // beyond the declared C_BH. An interposed pop of the admitted source
+      // consumes the charge frozen at admission (already in the budget);
+      // everything else is charged live. The burst's demand becomes
+      // pressure on other cores either way.
+      Duration stall;
+      if (interpose_ && interpose_->source == ev.source &&
+          interpose_->pending_charge.is_positive()) {
+        stall = interpose_->pending_charge;
+        interpose_->pending_charge = Duration::zero();
+        icx->register_demand(platform_.core_id(), part_color_mask_[p.id()],
+                             srcs_.bh_accesses[ev.source], now());
+      } else {
+        stall = icx->charge_and_register(platform_.core_id(),
+                                         part_color_mask_[p.id()],
+                                         srcs_.bh_accesses[ev.source], now());
+      }
+      cost += stall;
+    }
+    p.bh_in_progress = WorkUnit{hw::WorkCategory::kBottomHandler, cost, nullptr, ev};
     trace(TracePoint::kIrqPop, TraceCategory::kIrq, p.id(), ev.source, ev.seq,
           p.irq_queue().size());
     trace(TracePoint::kBottomStart, TraceCategory::kBottom, p.id(), ev.source, ev.seq);
@@ -753,6 +845,21 @@ void Hypervisor::account_work(Partition& p, const WorkUnit& work, Duration consu
     p.account_bh_time(consumed);
   } else {
     p.account_guest_time(consumed);
+  }
+  // Streaming interconnect demand of the executed code, registered post-hoc
+  // on consumed time (never inflating the slice itself, so preemption
+  // accounting is untouched). Integer division floors per retire; the
+  // resulting demand is deterministic in the preemption pattern, which is
+  // itself deterministic.
+  hw::SharedInterconnect* icx = platform_.interconnect();
+  if (icx != nullptr && consumed.is_positive()) {
+    const std::uint64_t apu = part_mem_apu_[p.id()];
+    if (apu != 0) {
+      const std::uint64_t accesses =
+          static_cast<std::uint64_t>(consumed.count_ns()) * apu / 1000;
+      icx->register_demand(platform_.core_id(), part_color_mask_[p.id()], accesses,
+                           now());
+    }
   }
 }
 
@@ -861,6 +968,8 @@ Hypervisor::Snapshot Hypervisor::snapshot() const {
   w.u64(partitions_.size());
   for (const Partition& p : partitions_) p.snapshot_state(w);
   w.pod_vec(srcs_.next_seq);
+  w.pod_vec(srcs_.infl_acc);
+  w.pod_vec(srcs_.last_norm_ns);
   w.u64(owned_monitors_.size());
   for (const auto& m : owned_monitors_) {
     w.boolean(m != nullptr);
@@ -909,6 +1018,8 @@ void Hypervisor::restore(const Snapshot& snap) {
   }
   for (Partition& p : partitions_) p.restore_state(r);
   r.pod_vec(srcs_.next_seq);
+  r.pod_vec(srcs_.infl_acc);
+  r.pod_vec(srcs_.last_norm_ns);
   if (r.u64() != owned_monitors_.size()) {
     throw std::logic_error("Hypervisor::restore: source count changed");
   }

@@ -87,6 +87,18 @@ struct IrqSourceConfig {
   PartitionId subscriber = kInvalidPartition;
   sim::Duration c_top;     // C_THi
   sim::Duration c_bottom;  // C_BHi (also the enforced interpose budget)
+
+  /// Interconnect burst of one bottom-handler execution; charged (and its
+  /// contention stall added to the handler's cost and interpose budget)
+  /// only when the platform is attached to a hw::SharedInterconnect.
+  std::uint64_t bh_accesses = 0;
+  /// The d_min backing the source's delta^- admission check. Required for
+  /// contention-aware admission: an admitted interposition whose burst
+  /// stalls for `charge` shifts the source's normalized clock back by
+  /// ceil(charge * admit_d_min / C'_BH), so the constant-d_min monitor
+  /// keeps Eq. 14 an upper bound on the *inflated* interference. Zero
+  /// disables the normalization (monitors observe raw raise times).
+  sim::Duration admit_d_min;
 };
 
 /// Completion record passed to the latency hook for every bottom handler.
@@ -188,6 +200,16 @@ class Hypervisor {
 
   /// Binds a guest to a partition.
   void set_partition_client(PartitionId p, PartitionClient* client);
+
+  /// Memory behavior of a partition on the shared interconnect: the LLC
+  /// color mask its pages are allocated from (cache coloring) and the
+  /// demand its executing code registers per microsecond of guest/BH work.
+  /// No-ops unless the platform is attached to a hw::SharedInterconnect.
+  void set_partition_memory(PartitionId p, std::uint32_t color_mask,
+                            std::uint64_t mem_accesses_per_us);
+  [[nodiscard]] std::uint32_t partition_color_mask(PartitionId p) const {
+    return part_color_mask_.at(p);
+  }
 
   /// Starts TDMA scheduling; call once, then run the simulator.
   void start();
@@ -308,6 +330,11 @@ class Hypervisor {
     PartitionId home;          // partition whose slot we interrupted
     IrqSourceId source;        // admitted source (budget owner)
     sim::Duration budget_left; // enforced execution budget
+    /// Contention stall frozen at admission time for the admitted source's
+    /// first bottom-handler pop (already folded into budget_left); consumed
+    /// by that pop so the cost, budget, trace and monitor all see the same
+    /// charge. Zero once consumed or when the platform has no interconnect.
+    sim::Duration pending_charge;
   };
 
   // Hardware glue.
@@ -352,6 +379,13 @@ class Hypervisor {
   void preempt_running();
   void account_work(Partition& p, const WorkUnit& work, sim::Duration consumed);
   void complete_bottom_handler(Partition& p);
+
+  /// The activation time a source's monitor observes: the raw raise time
+  /// shifted back by the source's accumulated contention inflation (clamped
+  /// monotone). Identity when no interconnect is attached or no admission
+  /// has been contention-inflated yet (infl_acc == 0).
+  [[nodiscard]] sim::TimePoint normalized_observation(IrqSourceId sid,
+                                                      sim::TimePoint raise);
 
   [[nodiscard]] sim::TimePoint now() const;
 
@@ -414,6 +448,9 @@ class Hypervisor {
   void drain_pending_restarts();
 
   std::vector<PartitionId> pending_restarts_;
+  // Per-partition interconnect behavior (indexed by PartitionId).
+  std::vector<std::uint32_t> part_color_mask_;  // lint: transient(memory config fixed before start)
+  std::vector<std::uint64_t> part_mem_apu_;  // lint: transient(memory config fixed before start)
   ContextSwitchStats ctx_stats_;
   IrqPathStats irq_path_stats_;
   HealthMonitor health_;

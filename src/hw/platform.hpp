@@ -1,8 +1,11 @@
 // Aggregate of the simulated hardware platform.
 //
 // Owns the CPU model, interrupt controller, memory system and a set of
-// hardware timers. One instance models one single-core board (the paper's
-// ARM926ej-s evaluation platform by default).
+// hardware timers. One instance models one *core*: standalone it is the
+// paper's single-core ARM926ej-s evaluation board; on the multi-core
+// platform, core::MulticoreSystem assembles one Platform per core and
+// couples them through a borrowed hw::SharedInterconnect (see
+// hw/multicore/interconnect.hpp), identified by core_id().
 #pragma once
 
 #include <memory>
@@ -13,6 +16,7 @@
 #include "hw/hw_timer.hpp"
 #include "hw/interrupt_controller.hpp"
 #include "hw/memory_system.hpp"
+#include "hw/multicore/interconnect.hpp"
 #include "sim/simulator.hpp"
 
 namespace rthv::hw {
@@ -42,6 +46,20 @@ class Platform {
   [[nodiscard]] const InterruptController& intc() const { return intc_; }
   [[nodiscard]] MemorySystem& memory() { return memory_; }
   [[nodiscard]] TimestampTimer& timestamp_timer() { return timestamp_; }
+
+  /// Couples this platform to a shared interconnect as core `core_id`.
+  /// Called once by the multi-core assembly; single-core systems leave the
+  /// platform detached (interconnect() == nullptr, core_id() == 0) and pay
+  /// no contention anywhere.
+  void attach_interconnect(SharedInterconnect* interconnect, std::uint32_t core_id) {
+    if (interconnect != nullptr && core_id >= interconnect->num_cores()) {
+      throw std::invalid_argument("Platform::attach_interconnect: core id out of range");
+    }
+    interconnect_ = interconnect;
+    core_id_ = interconnect == nullptr ? 0 : core_id;
+  }
+  [[nodiscard]] SharedInterconnect* interconnect() const { return interconnect_; }
+  [[nodiscard]] std::uint32_t core_id() const { return core_id_; }
 
   /// Creates a timer attached to an IRQ line. The platform owns the timer.
   HwTimer& add_timer(IrqLine line);
@@ -76,6 +94,9 @@ class Platform {
   MemorySystem memory_;  // lint: transient(pure configuration model; no mutable state)
   TimestampTimer timestamp_;  // lint: transient(stateless view over the simulator clock)
   std::vector<std::unique_ptr<HwTimer>> timers_;
+  // lint: transient(borrowed shared model; MulticoreSystem snapshots it once)
+  SharedInterconnect* interconnect_ = nullptr;
+  std::uint32_t core_id_ = 0;  // lint: transient(structural wiring, set at assembly)
 };
 
 }  // namespace rthv::hw

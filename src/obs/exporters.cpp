@@ -49,6 +49,7 @@ std::string_view to_string(TracePoint p) {
     case TracePoint::kFaultInject: return "fault-inject";
     case TracePoint::kDirectDeliver: return "direct-deliver";
     case TracePoint::kDirectComplete: return "direct-complete";
+    case TracePoint::kInterposeCharge: return "interpose-charge";
     case TracePoint::kCount_: break;
   }
   return "?";
@@ -167,6 +168,7 @@ class ChromeWriter {
       case TracePoint::kMonitorDeny:
       case TracePoint::kInterposeDeny:
       case TracePoint::kInterposeStart:
+      case TracePoint::kInterposeCharge:
         emit_instant(kMonitorTid, e);
         break;
       case TracePoint::kLegacy:

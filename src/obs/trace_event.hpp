@@ -69,6 +69,7 @@ enum class TracePoint : std::uint8_t {
   kFaultInject,       // fault engine action; arg0 = fault kind, arg1 = per-kind payload
   kDirectDeliver,     // UINTC-style hardware delivery; arg0 = raise time ns, arg1 = seq
   kDirectComplete,    // directly delivered bottom handler finished; arg0 = seq
+  kInterposeCharge,   // contention charge of an admission; arg0 = normalized-clock shift ns, arg1 = stall ns
   kCount_,
 };
 

@@ -65,6 +65,14 @@ class Simulator {
   }
 
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Time of the earliest pending event; must not be called when idle().
+  /// Non-const for the same reason as EventQueue::next_time(): peeking may
+  /// advance the wheel frontier (a pure representation change -- the event
+  /// set and pop order are unaffected). The multi-core merge loop uses this
+  /// to pick the core with the globally minimal next event.
+  [[nodiscard]] TimePoint next_event_time() { return queue_.next_time(); }
+
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 

@@ -34,6 +34,12 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 echo "== ASan + UBSan: fault-injection campaigns (ctest -L fault) =="
 ctest --test-dir build-asan --output-on-failure -L fault -j "$jobs"
 
+# Multi-core merge loop + shared-interconnect accounting under ASan/UBSan:
+# per-core simulators schedule into each other (routed IRQs), so lifetime
+# bugs across core boundaries surface here.
+echo "== ASan + UBSan: multi-core platform (ctest -L multicore) =="
+ctest --test-dir build-asan --output-on-failure -L multicore -j "$jobs"
+
 # The checkpoint/restore layer is the prime use-after-free candidate: every
 # hunt evaluation restores cloned callbacks onto a live object graph and
 # throws armed mutant engines away mid-simulation. The hunt suite plus a
@@ -69,6 +75,13 @@ if [[ "$run_tsan" == 1 ]]; then
   # mutable state across sweep workers.
   echo "== TSan: fault-injection campaigns (ctest -L fault) =="
   ctest --test-dir build-tsan --output-on-failure -L fault -j "$jobs"
+
+  # The multicore suite's RunIsIdenticalForAnyJobsCount shards whole
+  # MulticoreSystem runs over SweepRunner workers: TSan proves the merged
+  # per-core simulators and the shared interconnect never leak mutable
+  # state across those workers.
+  echo "== TSan: multi-core platform (ctest -L multicore) =="
+  ctest --test-dir build-tsan --output-on-failure -L multicore -j "$jobs"
 fi
 
 echo "sanitized runs passed"

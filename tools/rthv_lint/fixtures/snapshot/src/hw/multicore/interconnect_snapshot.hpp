@@ -1,0 +1,66 @@
+// Seeded snapshot-coverage fixture for the multi-core interconnect shape:
+// a class with epoch-bucketed accounting whose regulator window escapes the
+// snapshot pair. The covered twin below proves the rule stays quiet on the
+// real layout (config waived as structural, all mutable accounting
+// serialized in order).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fix_mc {
+
+// Minimal stand-ins for sim::StateWriter / sim::StateReader.
+struct Writer {
+  void u64(std::uint64_t v) { words.push_back(v); }
+  std::vector<std::uint64_t> words;
+};
+struct Reader {
+  std::uint64_t u64() { return words[pos++]; }
+  std::vector<std::uint64_t> words;
+  std::size_t pos = 0;
+};
+
+// The regulator window index is mutable accounting, but neither side of the
+// pair touches it: a restored system silently resumes with the pre-restore
+// window and grants the wrong budget.
+class InterconnectMissesWindow {
+ public:
+  void snapshot_state(Writer& w) const {
+    w.u64(cur_epoch_);
+    w.u64(demand_);
+  }
+  void restore_state(Reader& r) {
+    cur_epoch_ = r.u64();
+    demand_ = r.u64();
+  }
+
+ private:
+  std::uint64_t cur_epoch_ = 0;
+  std::uint64_t demand_ = 0;
+  std::uint64_t window_ = 0;  // rthv-lint-expect: snapshot-coverage
+};
+
+// Covered twin: full pair plus a structural-config waiver; must stay quiet.
+class InterconnectCovered {
+ public:
+  void snapshot_state(Writer& w) const {
+    w.u64(cur_epoch_);
+    w.u64(demand_);
+    w.u64(window_);
+  }
+  void restore_state(Reader& r) {
+    cur_epoch_ = r.u64();
+    demand_ = r.u64();
+    window_ = r.u64();
+  }
+
+ private:
+  std::uint32_t num_cores_ = 1;  // lint: transient(structural configuration)
+  std::uint64_t cur_epoch_ = 0;
+  std::uint64_t demand_ = 0;
+  std::uint64_t window_ = 0;
+};
+
+}  // namespace fix_mc

@@ -1,0 +1,17 @@
+// Fixture: raw heap allocation in the interconnect layer. Demand tables
+// and regulator windows are sized once at construction; per-burst charging
+// and epoch rolls must never touch the allocator.
+#include <cstdlib>
+#include <new>
+
+unsigned long long* fixture_interconnect_allocations(unsigned cores,
+                                                     unsigned colors) {
+  unsigned long long* demand =
+      new unsigned long long[cores * colors];       // rthv-lint-expect: no-hot-alloc
+  void* scratch = std::malloc(cores * 8);           // rthv-lint-expect: no-hot-alloc
+  std::free(scratch);
+  alignas(unsigned long long) static unsigned char slot[sizeof(unsigned long long)];
+  auto* pooled = ::new (slot) unsigned long long(0);  // placement new: allowed
+  (void)pooled;
+  return demand;
+}

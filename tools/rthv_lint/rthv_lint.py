@@ -16,8 +16,9 @@ Two layers:
                        function of its seed; a stray steady_clock::now()
                        breaks bit-identical --jobs sweeps.
   no-hot-alloc         No raw new/malloc in src/sim/, src/hv/, src/mon/,
-                       src/fault/ and src/core/ (the simulator hot paths
-                       and the checkpoint/snapshot path).
+                       src/fault/, src/core/ and src/hw/multicore/ (the
+                       simulator hot paths, the checkpoint/snapshot path
+                       and the per-burst interconnect accounting).
   trace-registered-id  Every obs::TracePoint::kX referenced anywhere must
                        be an enumerator registered in
                        src/obs/trace_event.hpp.
@@ -1010,14 +1011,17 @@ ALLOC_C_FUNCS = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
 
 
 @rule("no-hot-alloc",
-      "no raw new/malloc in src/sim/, src/hv/, src/mon/, src/fault/ and "
-      "src/core/ hot paths")
+      "no raw new/malloc in src/sim/, src/hv/, src/mon/, src/fault/, "
+      "src/core/ and src/hw/multicore/ hot paths")
 def check_hot_alloc(src: SourceFile, ctx: LintContext):
     # src/core/ is included for the checkpoint path: snapshot() runs between
     # hunt evaluations thousands of times, so its serialization must go
     # through StateWriter's word vector, never ad-hoc heap cells.
+    # src/hw/multicore/ is included because the interconnect charges every
+    # admitted burst and routed IRQ: its demand tables are sized at
+    # construction and must stay allocation-free afterwards.
     if not _in(src.relpath, "src/sim/", "src/hv/", "src/mon/", "src/fault/",
-               "src/core/"):
+               "src/core/", "src/hw/multicore/"):
         return
     for lineno, line in enumerate(src.code_lines, 1):
         if INCLUDE_RE.match(line):  # e.g. #include <new>
