@@ -5,7 +5,7 @@
 // latency ~2500 us over 15000 IRQs; worst case ~8000 us.
 //
 // usage: fig6a_unmonitored [--jobs N] [--trace-out f.json] [--metrics-out f.json]
-//        [export-dir]
+//        [--batch] [--no-warm-start] [--chunk N] [export-dir]
 #include <iostream>
 
 #include "exp/cli.hpp"
@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
   config.jobs = cli.jobs;
   config.trace = !cli.trace_out.empty();
   config.fault_plan = cli.fault_plan;
+  config.batch = cli.batch;
+  config.warm_start = cli.warm_start;
+  config.chunk = cli.chunk;
   const auto result = rthv::bench::run_fig6(config);
   rthv::bench::print_fig6_report(std::cout, "Fig. 6a -- monitoring disabled", config,
                                  result);

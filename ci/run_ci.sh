@@ -44,6 +44,12 @@ ctest --test-dir build-ci --output-on-failure -L multicore -j "$jobs"
 echo "== adversarial hunt (ctest -L hunt) =="
 ctest --test-dir build-ci --output-on-failure -L hunt -j "$jobs"
 
+# Batched campaign engine: the warm-start differential (pooled recycle vs
+# cold construction must be bit-identical), jobs/chunk identity under work
+# stealing, and the batched trace-ring reservation accounting.
+echo "== batched campaign engine (ctest -L batch) =="
+ctest --test-dir build-ci --output-on-failure -L batch -j "$jobs"
+
 # Benchmarks must at least run: second-scale smoke invocations of both
 # google-benchmark binaries (crashes/asserts, not numbers).
 echo "== perf smoke (ctest -L perf-smoke) =="
@@ -56,20 +62,26 @@ ctest --test-dir build-ci --output-on-failure -L perf-smoke -j 1
 # benchmark at once; a real regression fails both runs.
 echo "== perf gate (perf_report --compare) =="
 if ! ./build-ci/bench/perf_report build-ci/bench/ci_perf.json \
-    --compare BENCH_sim_throughput.json; then
+    --compare BENCH_sim_throughput.json \
+    --summary-out build-ci/bench/ci_perf_summary.txt; then
   echo "perf gate failed; retrying once to rule out a noisy-host window"
   ./build-ci/bench/perf_report build-ci/bench/ci_perf.json \
-    --compare BENCH_sim_throughput.json
+    --compare BENCH_sim_throughput.json \
+    --summary-out build-ci/bench/ci_perf_summary.txt
 fi
 
 # Archive the gate's measurements: one JSON per run, stamped with the git
 # revision and UTC date (both also recorded inside the JSON by perf_report),
 # so perf history survives CI workspaces being recycled and a regression can
 # be bisected against real past numbers instead of the single committed
-# baseline.
+# baseline. The ratio-sorted delta summary rides along as a text file so a
+# human scanning artifacts/perf sees best/worst movers without re-diffing
+# the JSONs.
 mkdir -p artifacts/perf
-archive="artifacts/perf/perf_$(git rev-parse --short HEAD 2>/dev/null || echo unknown)_$(date -u +%Y%m%dT%H%M%SZ).json"
+stamp="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)_$(date -u +%Y%m%dT%H%M%SZ)"
+archive="artifacts/perf/perf_${stamp}.json"
 cp build-ci/bench/ci_perf.json "$archive"
+cp build-ci/bench/ci_perf_summary.txt "artifacts/perf/perf_${stamp}_summary.txt"
 echo "perf report archived: $archive"
 
 echo "== static analysis =="

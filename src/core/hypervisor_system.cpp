@@ -155,6 +155,11 @@ HypervisorSystem::HypervisorSystem(const SystemConfig& config)
     completed_by_class_[c] = metrics_.counter("irq.completed." + suffix);
   }
 
+  // Materialize the TDMA timer and IPC router now: a pristine snapshot of
+  // this system then has the same structure as one that has run, which is
+  // what lets a pool recycle an instance by restoring its pre-start state.
+  hv_->finalize_structure();
+
   hv_->set_completion_hook([this](const hv::CompletedIrq& rec) {
     ++completed_;
     recorder_.record(rec.handling, rec.latency());
@@ -239,6 +244,18 @@ void HypervisorSystem::attach_trace(std::uint32_t source_index, workload::Trace 
   // them, so source timers are index 0..N-1 here).
   drivers_.push_back(std::make_unique<TraceIrqDriver>(
       platform_->timer(source_index), std::move(trace)));
+}
+
+void HypervisorSystem::clear_traces() {
+  // Destroying a driver leaves its timer's expiry hook dangling; clear the
+  // hooks too so nothing can ever call into freed memory. The hooks are
+  // wiring, not state: attach_trace() re-installs them for the next run.
+  drivers_.clear();
+  for (std::uint32_t i = 0; i < config_.sources.size(); ++i) {
+    platform_->timer(i).set_on_expiry({});
+  }
+  expected_ = 0;
+  started_ = false;
 }
 
 void HypervisorSystem::start() {

@@ -45,6 +45,13 @@ class HypervisorSystem {
   /// called before run().
   void attach_trace(std::uint32_t source_index, workload::Trace trace);
 
+  /// Pool-recycle hook: drops every attached trace driver (and the expiry
+  /// hooks they installed on the source timers) so that a snapshot taken
+  /// with zero drivers attached can be restored onto this system again.
+  /// Must be followed by restore() of such a snapshot before the next run;
+  /// on its own it leaves expected-completion accounting at zero.
+  void clear_traces();
+
   /// Keep every CompletedIrq record (needed for per-event series such as
   /// Fig. 7); off by default to save memory on long runs.
   void keep_completions(bool on) { keep_completions_ = on; }

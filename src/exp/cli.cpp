@@ -13,7 +13,8 @@ namespace {
 [[noreturn]] void usage_error(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--jobs N|auto] [--trace-out PATH] [--metrics-out PATH] "
-               "[--fault-plan PATH] [positional args...]\n",
+               "[--fault-plan PATH] [--batch] [--no-warm-start] [--chunk N] "
+               "[positional args...]\n",
                argv0);
   std::exit(2);
 }
@@ -27,6 +28,16 @@ std::size_t parse_jobs_value(std::string_view value, const char* argv0) {
   }
   if (value.empty() || jobs == 0) usage_error(argv0);
   return jobs;
+}
+
+std::size_t parse_count_value(std::string_view value, const char* argv0) {
+  std::size_t n = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') usage_error(argv0);
+    n = n * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (value.empty() || n == 0) usage_error(argv0);
+  return n;
 }
 
 }  // namespace
@@ -55,6 +66,16 @@ CliOptions parse_cli(int argc, char** argv) {
       options.fault_plan = argv[++i];
     } else if (arg.starts_with("--fault-plan=")) {
       options.fault_plan = arg.substr(13);
+    } else if (arg == "--batch") {
+      options.batch = true;
+    } else if (arg == "--no-warm-start") {
+      options.batch = true;
+      options.warm_start = false;
+    } else if (arg == "--chunk") {
+      if (i + 1 >= argc) usage_error(argv[0]);
+      options.chunk = parse_count_value(argv[++i], argv[0]);
+    } else if (arg.starts_with("--chunk=")) {
+      options.chunk = parse_count_value(arg.substr(8), argv[0]);
     } else {
       options.positional.emplace_back(arg);
     }

@@ -98,12 +98,16 @@ sim::TimePoint Hypervisor::normalized_observation(IrqSourceId sid, TimePoint rai
   return TimePoint::at_ns(t);
 }
 
+void Hypervisor::finalize_structure() {
+  if (ipc_ == nullptr) ipc_ = std::make_unique<IpcRouter>(num_partitions());
+  if (tdma_timer_ == nullptr) tdma_timer_ = &platform_.add_timer(tdma_line_);
+}
+
 void Hypervisor::start() {
   assert(!started_);
   assert(scheduler_ != nullptr && "set_schedule() must be called before start()");
   started_ = true;
-  ipc_ = std::make_unique<IpcRouter>(num_partitions());
-  tdma_timer_ = &platform_.add_timer(tdma_line_);
+  finalize_structure();
   platform_.intc().set_irq_entry_raw(
       [](void* ctx) { static_cast<Hypervisor*>(ctx)->irq_entry(); }, this);
   platform_.intc().set_direct_sink_raw(
@@ -519,33 +523,46 @@ void Hypervisor::finish_top_batch(TimePoint ta) {
 }
 
 void Hypervisor::emit_batch_records(TimePoint ta) {
+  // One enabled check and one counter commit for the whole burst (up to
+  // three records per latched IRQ); slots are written in place. Inert when
+  // tracing is off, except the overflow health reports, which are
+  // simulation state and must not depend on tracing.
+  std::optional<obs::TraceRing::BatchEmitter> burst;
+  burst.emplace(trace_.ring());
+  const std::int64_t ta_ns = ta.count_ns();
   for (std::size_t i = 0; i < batch_.count; ++i) {
     const BatchItem& item = batch_.items[i];
     const IrqSourceId sid = item.source;
     const PartitionId sub = srcs_.subscriber[sid];
     const IrqEvent& ev = item.event;
-    trace_at(ta, TracePoint::kTopExit, TraceCategory::kTopHandler, sub, sid, ev.seq);
+    burst->emit(ta_ns, TracePoint::kTopExit, TraceCategory::kTopHandler, sub, sid,
+                ev.seq);
     mon::ActivationMonitor* monitor = srcs_.monitor[sid];
-    if (monitor != nullptr && trace_.ring().enabled()) {
+    if (monitor != nullptr && burst->active()) {
       // The distance is still the one observed for this activation: each
       // monitor is recorded at most once per batch (one source per line)
       // and nothing re-records it before this continuation runs.
       const auto distance = monitor->last_observed_distance();
-      trace_at(ta,
-               item.admitted != 0 ? TracePoint::kMonitorAdmit
-                                  : TracePoint::kMonitorDeny,
-               TraceCategory::kMonitor, sub, sid,
-               distance ? static_cast<std::uint64_t>(distance->count_ns())
-                        : obs::kNoValue,
-               ev.seq);
+      burst->emit(ta_ns,
+                  item.admitted != 0 ? TracePoint::kMonitorAdmit
+                                     : TracePoint::kMonitorDeny,
+                  TraceCategory::kMonitor, sub, sid,
+                  distance ? static_cast<std::uint64_t>(distance->count_ns())
+                           : obs::kNoValue,
+                  ev.seq);
     }
     if (item.dropped != 0) {
-      trace_at(ta, TracePoint::kIrqDrop, TraceCategory::kIrq, sub, sid, ev.seq,
-               item.queue_stat);
+      burst->emit(ta_ns, TracePoint::kIrqDrop, TraceCategory::kIrq, sub, sid, ev.seq,
+                  item.queue_stat);
+      // The health monitor re-emits through the ring's own emit(), which
+      // must not run under a live emitter: flush the burst around the
+      // (rare) overflow report so record order matches the scalar path.
+      burst->commit();
       health_.report(HealthEvent{ta, HealthEventKind::kIrqQueueOverflow, sub, sid});
+      burst.emplace(trace_.ring());
     } else {
-      trace_at(ta, TracePoint::kIrqPush, TraceCategory::kIrq, sub, sid, ev.seq,
-               item.queue_stat);
+      burst->emit(ta_ns, TracePoint::kIrqPush, TraceCategory::kIrq, sub, sid, ev.seq,
+                  item.queue_stat);
     }
   }
 }
@@ -962,7 +979,10 @@ Hypervisor::Snapshot Hypervisor::snapshot() const {
   w.pod(ctx_stats_);
   w.pod(irq_path_stats_);
   w.u64(restarts_);
-  w.pod(batch_);
+  // Only live batch items: the 64-slot scratch array is almost always empty
+  // between events, and warm-start restores pay for every serialized word.
+  w.u64(batch_.count);
+  w.pod_span(batch_.items, batch_.count);
   w.boolean(scheduler_ != nullptr);
   if (scheduler_) scheduler_->snapshot_state(w);
   w.u64(partitions_.size());
@@ -1007,7 +1027,11 @@ void Hypervisor::restore(const Snapshot& snap) {
   ctx_stats_ = r.pod<ContextSwitchStats>();
   irq_path_stats_ = r.pod<IrqPathStats>();
   restarts_ = r.u64();
-  batch_ = r.pod<IrqBatch>();
+  batch_.count = r.u64();
+  if (batch_.count > IrqBatch::kCapacity) {
+    throw std::logic_error("Hypervisor::restore: batch count exceeds capacity");
+  }
+  r.pod_span(batch_.items, batch_.count);
   const bool had_scheduler = r.boolean();
   if (had_scheduler != (scheduler_ != nullptr)) {
     throw std::logic_error("Hypervisor::restore: schedule configuration changed");

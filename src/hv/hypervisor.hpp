@@ -211,6 +211,14 @@ class Hypervisor {
     return part_color_mask_.at(p);
   }
 
+  /// Materializes start-time structure (the TDMA hardware timer and the IPC
+  /// router) ahead of start(), without wiring or scheduling anything.
+  /// Idempotent. Assemblers that snapshot a pristine system for warm-start
+  /// recycling call this once after configuration, so the platform's timer
+  /// population and the IPC presence are identical before and after start()
+  /// and a pre-start snapshot restores cleanly onto a system that has run.
+  void finalize_structure();
+
   /// Starts TDMA scheduling; call once, then run the simulator.
   void start();
 

@@ -84,11 +84,17 @@ class IrqQueue {
   /// wiring). The structural capacity is serialized too, making the stream
   /// self-describing: restoring onto a differently-sized queue throws in
   /// every build type instead of only assert-tripping in debug.
+  ///
+  /// Only the live FIFO window is serialized -- a pristine or near-empty
+  /// queue costs O(size) words, not O(capacity). Restore rebases the window
+  /// to slot 0; head position is representation, not state (FIFO order,
+  /// counters, and the drop behavior are what's observable).
   void snapshot_state(sim::StateWriter& w) const {
     w.u64(capacity_);
-    w.pod_vec(slots_);
-    w.u64(head_);
     w.u64(size_);
+    const std::size_t first = capacity_ - head_ < size_ ? capacity_ - head_ : size_;
+    w.pod_span(slots_.data() + head_, first);
+    w.pod_span(slots_.data(), size_ - first);
     w.u64(drops_);
     w.u64(pushed_);
     w.u64(high_watermark_);
@@ -97,10 +103,12 @@ class IrqQueue {
     if (r.u64() != capacity_) {
       throw std::logic_error("IrqQueue::restore_state: capacity changed");
     }
-    r.pod_vec(slots_);
-    assert(slots_.size() == capacity_ && "IrqQueue capacity changed across restore");
-    head_ = r.u64();
     size_ = r.u64();
+    if (size_ > capacity_) {
+      throw std::logic_error("IrqQueue::restore_state: size exceeds capacity");
+    }
+    head_ = 0;
+    r.pod_span(slots_.data(), size_);
     drops_ = r.u64();
     pushed_ = r.u64();
     high_watermark_ = r.u64();

@@ -40,12 +40,22 @@ class StateWriter {
   template <typename T>
   void pod_vec(const std::vector<T>& v) {
     u64(v.size());
-    for (const T& e : v) pod(e);
+    pod_span(v.data(), v.size());
   }
 
   template <typename T>
   void pod_span(const T* p, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) pod(p[i]);
+    static_assert(std::is_trivially_copyable_v<T>, "pod_span() needs a POD-like type");
+    if constexpr (sizeof(T) % 8 == 0) {
+      // Word-multiple elements pack with no per-element padding, so the whole
+      // span is one memcpy instead of a per-element word loop. Same stream
+      // layout as the element-wise path; only the copy is batched.
+      const std::size_t base = words_.size();
+      words_.resize(base + n * (sizeof(T) / 8));
+      if (n > 0) std::memcpy(words_.data() + base, p, n * sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) pod(p[i]);
+    }
   }
 
   [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
@@ -80,12 +90,22 @@ class StateReader {
   void pod_vec(std::vector<T>& v) {
     const std::uint64_t n = u64();
     v.resize(n);
-    for (std::uint64_t i = 0; i < n; ++i) v[i] = pod<T>();
+    pod_span(v.data(), v.size());
   }
 
   template <typename T>
   void pod_span(T* p, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) p[i] = pod<T>();
+    static_assert(std::is_trivially_copyable_v<T>, "pod_span() needs a POD-like type");
+    if constexpr (sizeof(T) % 8 == 0) {
+      const std::size_t words = n * (sizeof(T) / 8);
+      if (pos_ + words > words_->size()) {
+        throw std::out_of_range("StateReader: snapshot stream underrun");
+      }
+      if (n > 0) std::memcpy(static_cast<void*>(p), words_->data() + pos_, n * sizeof(T));
+      pos_ += words;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) p[i] = pod<T>();
+    }
   }
 
   /// True once every written word has been consumed -- restore paths assert

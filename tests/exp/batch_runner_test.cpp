@@ -1,0 +1,352 @@
+// Contracts of the batched campaign engine (SystemPool + BatchRunner) and
+// of the batched trace-ring reservation it leans on:
+//
+//  - warm-start soundness: a pooled system recycled by clear_traces() +
+//    restore(pristine) is bit-identical to a cold-constructed system for
+//    the same workload, across many seeds and across mid-campaign slot
+//    recycling (the randomized differential satellite);
+//  - jobs-identity: campaign results are bit-identical for any jobs/chunk
+//    combination and with warm start disabled;
+//  - plan_shards covers every run index exactly once, contiguously;
+//  - TraceRing::BatchEmitter settles emitted/retained/dropped accounting
+//    exactly like the scalar emit path, including on wraparound.
+#include "exp/batch_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/hypervisor_system.hpp"
+#include "exp/system_pool.hpp"
+#include "obs/trace_ring.hpp"
+#include "workload/generators.hpp"
+
+namespace rthv::exp {
+namespace {
+
+core::SystemConfig monitored_config() {
+  auto cfg = core::SystemConfig::paper_baseline();
+  cfg.mode = hv::TopHandlerMode::kInterposing;
+  cfg.sources[0].monitor = core::MonitorKind::kDeltaMin;
+  cfg.sources[0].d_min = sim::Duration::us(1444);
+  return cfg;
+}
+
+// Runs one seeded workload on `system` and renders everything observable
+// about the run -- merged metrics, latency summary, executed event count and
+// every completion record -- so two digests match only if the simulations
+// were bit-identical.
+std::string run_digest(core::HypervisorSystem& system, std::uint64_t seed) {
+  workload::ExponentialTraceGenerator gen(sim::Duration::us(700), seed,
+                                          sim::Duration::us(100));
+  system.attach_trace(0, gen.generate(40));
+  const std::uint64_t completed = system.run(sim::Duration::s(1000));
+  std::ostringstream os;
+  os << completed << '|' << system.simulator().executed_events() << '|';
+  system.recorder().write_summary(os);
+  system.metrics_snapshot().write_json(os);
+  for (const auto& c : system.completions()) {
+    os << ';' << c.source << ',' << static_cast<int>(c.handling) << ','
+       << c.latency().count_ns();
+  }
+  return os.str();
+}
+
+// --- warm-start differential ------------------------------------------------
+
+TEST(SystemPoolTest, WarmRecycleMatchesColdConstructionAcrossSeeds) {
+  const auto cfg = monitored_config();
+  SystemPool::Options options;
+  options.keep_completions = true;
+  SystemPool pool(cfg, options);
+  auto lease = pool.acquire();
+  // 12 seeds through ONE slot: run 0 is the fresh system, every later run a
+  // warm recycle of a slot that has already simulated -- the adversarial
+  // case for restore-in-place.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    core::HypervisorSystem cold(cfg);
+    cold.keep_completions(true);
+    const std::string expected = run_digest(cold, seed);
+    const std::string warm = run_digest(lease.begin_run(), seed);
+    EXPECT_EQ(warm, expected) << "seed " << seed << " diverged after recycling";
+  }
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.constructed, 1u);
+  EXPECT_EQ(stats.warm_recycles, 11u);
+  EXPECT_EQ(stats.cold_rebuilds, 0u);
+}
+
+TEST(SystemPoolTest, ReleaseAndReacquireRecyclesTheSlot) {
+  SystemPool::Options options;
+  options.keep_completions = true;
+  SystemPool pool(monitored_config(), options);
+  std::vector<std::string> digests;
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    auto lease = pool.acquire();  // released at scope exit, slot goes back
+    digests.push_back(run_digest(lease.begin_run(), seed));
+  }
+  EXPECT_EQ(pool.size(), 1u);  // every acquire() reused the one slot
+  core::HypervisorSystem cold(monitored_config());
+  cold.keep_completions(true);
+  EXPECT_EQ(digests[2], run_digest(cold, 22));
+}
+
+TEST(SystemPoolTest, ColdRebuildModeAlsoMatches) {
+  SystemPool::Options options;
+  options.warm_start = false;
+  options.keep_completions = true;
+  SystemPool pool(monitored_config(), options);
+  auto lease = pool.acquire();
+  for (std::uint64_t seed = 5; seed <= 7; ++seed) {
+    core::HypervisorSystem cold(monitored_config());
+    cold.keep_completions(true);
+    EXPECT_EQ(run_digest(lease.begin_run(), seed), run_digest(cold, seed));
+  }
+  EXPECT_EQ(pool.stats().cold_rebuilds, 2u);
+  EXPECT_EQ(pool.stats().warm_recycles, 0u);
+}
+
+// --- jobs-identity ----------------------------------------------------------
+
+std::vector<std::string> run_campaign(std::size_t jobs, std::size_t chunk,
+                                      bool warm_start) {
+  SystemPool::Options options;
+  options.warm_start = warm_start;
+  options.keep_completions = true;
+  SystemPool pool(monitored_config(), options);
+  BatchRunner runner(BatchOptions{.jobs = jobs, .chunk = chunk});
+  return runner.map(pool, 32, [](std::size_t i, core::HypervisorSystem& system) {
+    return run_digest(system, 100 + i);
+  });
+}
+
+TEST(BatchRunnerTest, CampaignBitIdenticalForAnyJobsChunkAndWarmStartMode) {
+  const auto reference = run_campaign(1, 16, true);
+  ASSERT_EQ(reference.size(), 32u);
+  EXPECT_EQ(run_campaign(4, 4, true), reference);
+  EXPECT_EQ(run_campaign(16, 1, true), reference);
+  EXPECT_EQ(run_campaign(4, 4, false), reference);  // warm start disabled
+}
+
+TEST(BatchRunnerTest, PoolStaysBoundedByWorkerCount) {
+  SystemPool pool(monitored_config());
+  BatchRunner runner(BatchOptions{.jobs = 4, .chunk = 2});
+  const auto results =
+      runner.map(pool, 40, [](std::size_t i, core::HypervisorSystem& system) {
+        workload::ExponentialTraceGenerator gen(sim::Duration::us(700), 1 + i);
+        system.attach_trace(0, gen.generate(5));
+        return system.run(sim::Duration::s(1000));
+      });
+  ASSERT_EQ(results.size(), 40u);
+  const auto& stats = runner.stats();
+  EXPECT_EQ(stats.runs, 40u);
+  EXPECT_LE(stats.pool.constructed, 4u);  // O(workers), not O(runs)
+  EXPECT_EQ(stats.pool.constructed + stats.pool.warm_recycles, 40u);
+  EXPECT_EQ(stats.chunks, 20u);
+}
+
+TEST(BatchRunnerTest, RethrowsLowestIndexFailure) {
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    SystemPool pool(monitored_config());
+    BatchRunner runner(BatchOptions{.jobs = jobs, .chunk = 2});
+    try {
+      runner.map(pool, 12, [](std::size_t i, core::HypervisorSystem&) -> int {
+        if (i == 3 || i == 7) throw std::runtime_error("run " + std::to_string(i));
+        return 0;
+      });
+      FAIL() << "expected exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "run 3") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(BatchRunnerTest, EmptyAndSingletonCampaigns) {
+  SystemPool pool(monitored_config());
+  BatchRunner runner(BatchOptions{.jobs = 4, .chunk = 16});
+  EXPECT_TRUE(
+      runner.map(pool, 0, [](std::size_t, core::HypervisorSystem&) { return 1; })
+          .empty());
+  const auto one =
+      runner.map(pool, 1, [](std::size_t i, core::HypervisorSystem&) { return i + 9; });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 9u);
+}
+
+// --- plan_shards ------------------------------------------------------------
+
+void expect_exact_cover(const std::vector<std::vector<RunRange>>& shards,
+                        std::size_t count) {
+  std::set<std::size_t> seen;
+  for (const auto& shard : shards) {
+    for (const auto& range : shard) {
+      EXPECT_LT(range.begin, range.end);
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        EXPECT_TRUE(seen.insert(i).second) << "index " << i << " dealt twice";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), count);
+  if (count > 0) {
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), count - 1);
+  }
+}
+
+TEST(PlanShardsTest, CoversEveryIndexExactlyOnce) {
+  expect_exact_cover(plan_shards(100, 16, 4), 100);
+  expect_exact_cover(plan_shards(7, 3, 2), 7);
+  expect_exact_cover(plan_shards(1, 16, 8), 1);
+  expect_exact_cover(plan_shards(0, 16, 4), 0);
+  expect_exact_cover(plan_shards(1000, 1, 16), 1000);
+}
+
+TEST(PlanShardsTest, ShardsAreContiguousAndBalanced) {
+  const auto shards = plan_shards(100, 10, 4);  // 10 chunks over 4 workers
+  ASSERT_EQ(shards.size(), 4u);
+  std::size_t next = 0;
+  std::size_t min_chunks = 100u;
+  std::size_t max_chunks = 0u;
+  for (const auto& shard : shards) {
+    for (const auto& range : shard) {
+      EXPECT_EQ(range.begin, next);  // worker shards partition 0..count in order
+      next = range.end;
+    }
+    min_chunks = std::min(min_chunks, shard.size());
+    max_chunks = std::max(max_chunks, shard.size());
+  }
+  EXPECT_EQ(next, 100u);
+  EXPECT_LE(max_chunks - min_chunks, 1u);
+}
+
+TEST(PlanShardsTest, MoreWorkersThanChunksLeavesEmptyShards) {
+  const auto shards = plan_shards(10, 16, 8);  // one chunk, eight workers
+  ASSERT_EQ(shards.size(), 8u);
+  std::size_t non_empty = 0;
+  for (const auto& shard : shards) non_empty += shard.empty() ? 0u : 1u;
+  EXPECT_EQ(non_empty, 1u);
+  expect_exact_cover(shards, 10);
+}
+
+// --- TraceRing::BatchEmitter ------------------------------------------------
+
+obs::TraceEvent make_event(std::int64_t t) {
+  obs::TraceEvent e;
+  e.time_ns = t;
+  e.point = obs::TracePoint::kIrqPush;
+  e.category = obs::TraceCategory::kIrq;
+  e.partition = 1;
+  e.source = 2;
+  e.arg0 = static_cast<std::uint64_t>(t);
+  return e;
+}
+
+void expect_rings_equal(const obs::TraceRing& batched, const obs::TraceRing& scalar) {
+  EXPECT_EQ(batched.size(), scalar.size());
+  EXPECT_EQ(batched.emitted(), scalar.emitted());
+  EXPECT_EQ(batched.dropped(), scalar.dropped());
+  EXPECT_EQ(batched.category_count(obs::TraceCategory::kIrq),
+            scalar.category_count(obs::TraceCategory::kIrq));
+  const auto a = batched.snapshot();
+  const auto b = scalar.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_ns, b[i].time_ns) << "event " << i;
+    EXPECT_EQ(a[i].arg0, b[i].arg0) << "event " << i;
+  }
+}
+
+TEST(BatchEmitterTest, MatchesScalarEmissionWithoutWraparound) {
+  obs::TraceRing batched(64);
+  obs::TraceRing scalar(64);
+  batched.set_enabled(true);
+  scalar.set_enabled(true);
+  {
+    obs::TraceRing::BatchEmitter burst(batched);
+    for (std::int64_t t = 0; t < 20; ++t) {
+      const auto e = make_event(t);
+      burst.emit(e.time_ns, e.point, e.category, e.partition, e.source, e.arg0, 0);
+    }
+  }  // destructor commits
+  for (std::int64_t t = 0; t < 20; ++t) scalar.emit(make_event(t));
+  expect_rings_equal(batched, scalar);
+  EXPECT_EQ(batched.dropped(), batched.emitted() - batched.size());
+}
+
+TEST(BatchEmitterTest, WraparoundAccountingMatchesScalar) {
+  obs::TraceRing batched(8);
+  obs::TraceRing scalar(8);
+  batched.set_enabled(true);
+  scalar.set_enabled(true);
+  // Three bursts totalling 21 events through a capacity-8 ring: the ring
+  // wraps twice and the conservation law dropped == emitted - size must
+  // settle identically to 21 scalar emits.
+  std::int64_t t = 0;
+  for (const int burst_len : {5, 9, 7}) {
+    obs::TraceRing::BatchEmitter burst(batched);
+    for (int k = 0; k < burst_len; ++k, ++t) {
+      const auto e = make_event(t);
+      burst.emit(e.time_ns, e.point, e.category, e.partition, e.source, e.arg0, 0);
+    }
+    burst.commit();
+  }
+  for (std::int64_t s = 0; s < t; ++s) scalar.emit(make_event(s));
+  expect_rings_equal(batched, scalar);
+  EXPECT_EQ(batched.size(), 8u);
+  EXPECT_EQ(batched.emitted(), 21u);
+  EXPECT_EQ(batched.dropped(), 13u);
+}
+
+TEST(BatchEmitterTest, SingleBurstLargerThanCapacity) {
+  obs::TraceRing ring(4);
+  ring.set_enabled(true);
+  {
+    obs::TraceRing::BatchEmitter burst(ring);
+    for (std::int64_t x = 0; x < 11; ++x) {
+      burst.emit(x, obs::TracePoint::kIrqPush, obs::TraceCategory::kIrq);
+    }
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.emitted(), 11u);
+  EXPECT_EQ(ring.dropped(), 7u);
+  const auto events = ring.snapshot();  // newest 4 retained, oldest first
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].time_ns, static_cast<std::int64_t>(7 + i));
+  }
+}
+
+TEST(BatchEmitterTest, DisabledRingIsInert) {
+  obs::TraceRing ring(8);  // never enabled: no storage allocated
+  obs::TraceRing::BatchEmitter burst(ring);
+  EXPECT_FALSE(burst.active());
+  burst.emit(1, obs::TracePoint::kIrqPush, obs::TraceCategory::kIrq);
+  burst.commit();
+  EXPECT_EQ(ring.emitted(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(BatchEmitterTest, FlushAndReopenPreservesOrderAroundScalarEmit) {
+  obs::TraceRing ring(16);
+  ring.set_enabled(true);
+  obs::TraceRing::BatchEmitter burst(ring);
+  burst.emit(1, obs::TracePoint::kIrqPush, obs::TraceCategory::kIrq);
+  burst.commit();
+  ring.emit(make_event(2));  // e.g. a health-monitor report mid-burst
+  obs::TraceRing::BatchEmitter reopened(ring);
+  reopened.emit(3, obs::TracePoint::kIrqPush, obs::TraceCategory::kIrq);
+  reopened.commit();
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time_ns, 1);
+  EXPECT_EQ(events[1].time_ns, 2);
+  EXPECT_EQ(events[2].time_ns, 3);
+}
+
+}  // namespace
+}  // namespace rthv::exp

@@ -47,6 +47,12 @@ ctest --test-dir build-asan --output-on-failure -L multicore -j "$jobs"
 echo "== ASan + UBSan: snapshot hunt (ctest -L hunt) =="
 ctest --test-dir build-asan --output-on-failure -L hunt -j "$jobs"
 
+# Pool recycling restores snapshots onto live object graphs and re-leases
+# the same HypervisorSystem across runs; ASan/UBSan over the batch suite
+# catches stale-pointer bugs in clear_traces()/restore() recycling.
+echo "== ASan + UBSan: batched campaign engine (ctest -L batch) =="
+ctest --test-dir build-asan --output-on-failure -L batch -j "$jobs"
+
 echo "== ASan + UBSan: rthv_hunt smoke =="
 ./build-asan/tools/rthv_hunt/rthv_hunt --baseline --weaken 4 --exp 1444 0 \
   --generations 10 --population 8 --horizon-ms 100 --fork-ms 10 --seed 7 \
@@ -82,6 +88,12 @@ if [[ "$run_tsan" == 1 ]]; then
   # state across those workers.
   echo "== TSan: multi-core platform (ctest -L multicore) =="
   ctest --test-dir build-tsan --output-on-failure -L multicore -j "$jobs"
+
+  # The batch runner's work-stealing deques are lock-per-deque by design;
+  # TSan over the batch suite (jobs up to 16, deliberate imbalance) proves
+  # owner pops, thief steals, and SystemPool leasing are race-free.
+  echo "== TSan: batched campaign engine (ctest -L batch) =="
+  ctest --test-dir build-tsan --output-on-failure -L batch -j "$jobs"
 fi
 
 echo "sanitized runs passed"

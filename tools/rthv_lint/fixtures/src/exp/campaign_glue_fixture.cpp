@@ -1,0 +1,9 @@
+// Fixture: the no-hot-alloc scope covers only the batch engine inside
+// src/exp/ (batch_runner*, system_pool*). Campaign glue like this file --
+// result aggregation, driver setup -- allocates once per campaign, not per
+// run, and stays out of scope; this heap cell must NOT be flagged.
+#include <vector>
+
+std::vector<int>* fixture_campaign_result_sink() {
+  return new std::vector<int>();
+}

@@ -1,0 +1,8 @@
+// Fixture: raw heap allocation in the pool recycle loop. A lease is taken
+// once per run; slot storage is constructed when the pool grows and reused
+// by snapshot restore afterwards, so begin_run() must stay allocation-free.
+#include <cstdint>
+
+int* fixture_pool_lease_cell() {
+  return new int(0); // rthv-lint-expect: no-hot-alloc
+}

@@ -16,9 +16,11 @@ Two layers:
                        function of its seed; a stray steady_clock::now()
                        breaks bit-identical --jobs sweeps.
   no-hot-alloc         No raw new/malloc in src/sim/, src/hv/, src/mon/,
-                       src/fault/, src/core/ and src/hw/multicore/ (the
-                       simulator hot paths, the checkpoint/snapshot path
-                       and the per-burst interconnect accounting).
+                       src/fault/, src/core/, src/hw/multicore/ and the
+                       src/exp/ batch engine (batch_runner/system_pool):
+                       the simulator hot paths, the checkpoint/snapshot
+                       path, the per-burst interconnect accounting, and
+                       the pooled campaign recycle loop.
   trace-registered-id  Every obs::TracePoint::kX referenced anywhere must
                        be an enumerator registered in
                        src/obs/trace_event.hpp.
@@ -1012,7 +1014,7 @@ ALLOC_C_FUNCS = re.compile(r"\b(?:malloc|calloc|realloc)\s*\(")
 
 @rule("no-hot-alloc",
       "no raw new/malloc in src/sim/, src/hv/, src/mon/, src/fault/, "
-      "src/core/ and src/hw/multicore/ hot paths")
+      "src/core/, src/hw/multicore/ and the src/exp/ batch engine")
 def check_hot_alloc(src: SourceFile, ctx: LintContext):
     # src/core/ is included for the checkpoint path: snapshot() runs between
     # hunt evaluations thousands of times, so its serialization must go
@@ -1020,8 +1022,15 @@ def check_hot_alloc(src: SourceFile, ctx: LintContext):
     # src/hw/multicore/ is included because the interconnect charges every
     # admitted burst and routed IRQ: its demand tables are sized at
     # construction and must stay allocation-free afterwards.
+    # The batch engine (src/exp/batch_runner*, src/exp/system_pool*) is
+    # included because warm recycling exists precisely to keep 10k-run
+    # campaigns at O(pool) allocations: a raw heap cell per lease or per
+    # steal chunk would silently rebuild the per-run malloc traffic the
+    # pool removed. The rest of src/exp/ (drivers, sweep glue) stays out
+    # of scope.
     if not _in(src.relpath, "src/sim/", "src/hv/", "src/mon/", "src/fault/",
-               "src/core/", "src/hw/multicore/"):
+               "src/core/", "src/hw/multicore/",
+               "src/exp/batch_runner", "src/exp/system_pool"):
         return
     for lineno, line in enumerate(src.code_lines, 1):
         if INCLUDE_RE.match(line):  # e.g. #include <new>
